@@ -1,0 +1,41 @@
+# Partial Lookup Services — reproduction of Sun & Garcia-Molina (ICDCS 2003).
+
+GO ?= go
+
+.PHONY: all build test race cover bench reproduce reproduce-full examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table and figure at interactive fidelity (~2 min).
+reproduce:
+	$(GO) run ./cmd/plsbench -exp everything
+
+# Paper fidelity: 5000 runs per data point (hours of CPU).
+reproduce-full:
+	$(GO) run ./cmd/plsbench -exp everything -fidelity full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/musicshare
+	$(GO) run ./examples/yellowpages
+	$(GO) run ./examples/livecluster
+
+clean:
+	$(GO) clean ./...

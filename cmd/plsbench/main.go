@@ -1,0 +1,97 @@
+// Command plsbench regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	plsbench [-exp table1|fig4|...|table2|all] [-fidelity quick|default|full]
+//	         [-format text|md] [-seed N]
+//
+// At -fidelity full the runner approaches the paper's stated fidelity
+// (5000 runs per data point) and can take many minutes; default keeps
+// each experiment in the seconds-to-a-minute range with the same curve
+// shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1, fig4..fig14, table2, ext-rsreplace, ext-overlay), or all | ext | everything")
+		fidelity = flag.String("fidelity", "default", "simulation fidelity: quick, default, or full")
+		format   = flag.String("format", "text", "output format: text, md, or csv")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		runs     = flag.Int("runs", 0, "override: placements averaged per data point")
+		lookups  = flag.Int("lookups", 0, "override: lookups per placement")
+		updates  = flag.Int("updates", 0, "override: update events per dynamic run")
+	)
+	flag.Parse()
+
+	var fid bench.Fidelity
+	switch *fidelity {
+	case "quick":
+		fid = bench.Quick
+	case "default":
+		fid = bench.Default
+	case "full":
+		fid = bench.Paper
+	default:
+		return fmt.Errorf("unknown fidelity %q", *fidelity)
+	}
+	if *runs > 0 {
+		fid.Runs = *runs
+	}
+	if *lookups > 0 {
+		fid.Lookups = *lookups
+	}
+	if *updates > 0 {
+		fid.Updates = *updates
+	}
+
+	var experiments []bench.Experiment
+	switch *exp {
+	case "all":
+		experiments = bench.Experiments()
+	case "ext":
+		experiments = bench.ExtensionExperiments()
+	case "everything":
+		experiments = append(bench.Experiments(), bench.ExtensionExperiments()...)
+	default:
+		e, err := bench.Find(*exp)
+		if err != nil {
+			return err
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		table, err := e.Run(fid, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "md":
+			fmt.Println(table.Markdown())
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		default:
+			fmt.Println(table.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command plsctl is the client CLI for a plsd cluster.
+//
+// Usage:
+//
+//	plsctl -servers host:port,host:port -scheme round -y 2 place  KEY v1 v2 v3 ...
+//	plsctl -servers ...                 -scheme round -y 2 add    KEY v
+//	plsctl -servers ...                 -scheme round -y 2 delete KEY v
+//	plsctl -servers ...                 -scheme round -y 2 lookup KEY t
+//	plsctl -servers ...                                  dump   KEY        # per-server contents
+//
+// The scheme flags must match the configuration the key was placed
+// with (the service is symmetric: any client carrying the same config
+// can update the key).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		servers = flag.String("servers", "127.0.0.1:7001", "comma-separated server addresses")
+		scheme  = flag.String("scheme", "round", "placement scheme: full, fixed, randomserver, round, hash, partition")
+		x       = flag.Int("x", 0, "x parameter (fixed, randomserver)")
+		y       = flag.Int("y", 1, "y parameter (round, hash)")
+		seed    = flag.Uint64("hash-seed", 0, "hash family seed (hash scheme)")
+		timeout = flag.Duration("timeout", 5*time.Second, "RPC timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...]")
+	}
+	verb, key := args[0], args[1]
+
+	addrs, err := cliutil.ParseServerList(*servers)
+	if err != nil {
+		return err
+	}
+	client := transport.NewClient(addrs, transport.WithTimeout(*timeout))
+	defer client.Close()
+
+	cfg, err := cliutil.ParseScheme(*scheme, *x, *y, *seed)
+	if err != nil {
+		return err
+	}
+	svc, err := core.NewService(client, core.WithDefaultConfig(cfg))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout*2)
+	defer cancel()
+
+	switch verb {
+	case "place":
+		entries := make([]core.Entry, 0, len(args)-2)
+		for _, v := range args[2:] {
+			entries = append(entries, core.Entry(v))
+		}
+		if err := svc.Place(ctx, key, entries); err != nil {
+			return err
+		}
+		fmt.Printf("placed %d entries for %q with %v\n", len(entries), key, cfg)
+	case "add":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: add KEY ENTRY")
+		}
+		if err := svc.Add(ctx, key, core.Entry(args[2])); err != nil {
+			return err
+		}
+		fmt.Printf("added %q to %q\n", args[2], key)
+	case "delete":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: delete KEY ENTRY")
+		}
+		if err := svc.Delete(ctx, key, core.Entry(args[2])); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %q from %q\n", args[2], key)
+	case "lookup":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: lookup KEY T")
+		}
+		t, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad target answer size %q: %w", args[2], err)
+		}
+		res, err := svc.PartialLookup(ctx, key, t)
+		if err != nil {
+			return err
+		}
+		status := "satisfied"
+		if !res.Satisfied(t) {
+			status = "UNSATISFIED"
+		}
+		fmt.Printf("partial_lookup(%q, %d): %d entries from %d servers (%s)\n",
+			key, t, len(res.Entries), res.Contacted, status)
+		for _, v := range res.Entries {
+			fmt.Println(" ", v)
+		}
+	case "dump":
+		for i := range addrs {
+			reply, err := client.Call(ctx, i, wire.Dump{Key: key})
+			if err != nil {
+				fmt.Printf("server %d (%s): DOWN (%v)\n", i, addrs[i], err)
+				continue
+			}
+			dr, ok := reply.(wire.DumpReply)
+			if !ok || dr.Err != "" {
+				fmt.Printf("server %d (%s): error %v\n", i, addrs[i], reply)
+				continue
+			}
+			fmt.Printf("server %d (%s): %d entries %v\n", i, addrs[i], len(dr.Entries), dr.Entries)
+		}
+	default:
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command plsd runs one partial-lookup server daemon over TCP.
+//
+// A cluster is a set of plsd processes sharing the same ordered peer
+// list; each daemon is told its own index. Example 3-server cluster on
+// one machine:
+//
+//	plsd -id 0 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	plsd -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	plsd -id 2 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//
+// Clients (plsctl, or core.Service over transport.NewClient) then
+// place keys and perform partial lookups against any server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.Int("id", 0, "this server's index into the peer list")
+		peers   = flag.String("peers", "127.0.0.1:7001", "comma-separated ordered list of all server addresses (including this one)")
+		listen  = flag.String("listen", "", "listen address (default: the peer entry for -id)")
+		seed    = flag.Uint64("seed", 0, "RNG seed for answer sampling (0 = derived from time)")
+		timeout = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if *id < 0 || *id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	bind := *listen
+	if bind == "" {
+		bind = addrs[*id]
+	}
+	rngSeed := *seed
+	if rngSeed == 0 {
+		rngSeed = uint64(time.Now().UnixNano())
+	}
+
+	nd := node.New(*id, stats.NewRNG(rngSeed))
+	peerClient := transport.NewClient(addrs, transport.WithTimeout(*timeout))
+	defer peerClient.Close()
+	nd.Attach(peerClient)
+
+	srv := transport.NewServer(nd)
+	bound, err := srv.Listen(bind)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("plsd: server %d/%d listening on %s\n", *id, len(addrs), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("plsd: shutting down")
+	return nil
+}

@@ -1,0 +1,155 @@
+// Command plssim runs one parameterized dynamic-update simulation
+// (Sec. 6 of the paper) and reports the steady-state behavior of a
+// chosen strategy: update overhead, lookup satisfaction, storage, and
+// coverage over time.
+//
+// Example — the paper's Fig. 12 point (Fixed-18 = t 15 + cushion 3):
+//
+//	plssim -scheme fixed -x 18 -t 15 -servers 10 -steady 100 \
+//	       -updates 20000 -lifetime exp -runs 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plssim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scheme   = flag.String("scheme", "round", "strategy: full, fixed, randomserver, round, hash, partition")
+		x        = flag.Int("x", 0, "x parameter (fixed, randomserver)")
+		y        = flag.Int("y", 1, "y parameter (round, hash)")
+		n        = flag.Int("servers", 10, "number of servers")
+		steady   = flag.Int("steady", 100, "steady-state number of entries h")
+		target   = flag.Int("t", 15, "client target answer size")
+		updates  = flag.Int("updates", 10000, "update events per run")
+		lifetime = flag.String("lifetime", "exp", "entry lifetime distribution: exp or zipf")
+		gap      = flag.Float64("gap", 10, "mean add inter-arrival time")
+		runs     = flag.Int("runs", 10, "independent runs to average")
+		lookups  = flag.Int("lookups", 500, "post-run lookups for satisfaction/unfairness")
+		seed     = flag.Uint64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	cfg, err := cliutil.ParseScheme(*scheme, *x, *y, 0)
+	if err != nil {
+		return err
+	}
+	lt, err := sim.DefaultLifetime(*lifetime, *gap, *steady)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(*seed)
+
+	var msgs, failFrac, storage, coverage, satisfied stats.Summary
+	for run := 0; run < *runs; run++ {
+		runCfg := cfg
+		if runCfg.Scheme == wire.Hash {
+			runCfg.Seed = rng.Uint64()
+		}
+		stream, err := sim.Generate(rng.Split(), sim.StreamConfig{
+			MeanArrivalGap: *gap,
+			SteadyState:    *steady,
+			Lifetime:       lt,
+			Updates:        *updates,
+		})
+		if err != nil {
+			return err
+		}
+		cl := cluster.New(*n, rng.Split())
+		drv, err := strategy.New(runCfg, rng.Split())
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		if err := drv.Place(ctx, cl.Caller(), "k", stream.Initial); err != nil {
+			return err
+		}
+		cl.ResetMessages()
+
+		failTime, totalTime := 0.0, 0.0
+		node0 := cl.Node(0)
+		err = sim.ReplayTimed(stream.Events, func(ev sim.Event) error {
+			switch ev.Kind {
+			case sim.EventAdd:
+				return drv.Add(ctx, cl.Caller(), "k", ev.Entry)
+			default:
+				return drv.Delete(ctx, cl.Caller(), "k", ev.Entry)
+			}
+		}, func(from, to float64) error {
+			// Time-weighted failure probe is exact for the replicated
+			// schemes (identical servers); for the partitioned schemes
+			// it is a cheap proxy (server 0 below t/n of the target).
+			d := to - from
+			totalTime += d
+			if node0.LocalLen("k") < perServerTarget(runCfg, *target, *n) {
+				failTime += d
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		msgs.Observe(float64(cl.Messages()))
+		if totalTime > 0 {
+			failFrac.Observe(100 * failTime / totalTime)
+		}
+		storage.Observe(float64(cl.TotalStorage("k")))
+		coverage.Observe(float64(metrics.Coverage(cl.Snapshot("k"))))
+
+		cost, err := metrics.MeasureLookupCost(func() (strategy.Result, error) {
+			return drv.PartialLookup(ctx, cl.Caller(), "k", *target)
+		}, *target, *lookups)
+		if err != nil {
+			return err
+		}
+		satisfied.Observe(cost.SatisfiedFraction * 100)
+	}
+
+	fmt.Printf("plssim: %v on %d servers, steady h=%d, %d updates x %d runs (%s lifetimes)\n",
+		cfg, *n, *steady, *updates, *runs, *lifetime)
+	fmt.Printf("  update messages:       %10.1f ± %.1f per run (%.2f per update)\n",
+		msgs.Mean(), msgs.CI95(), msgs.Mean()/float64(*updates))
+	fmt.Printf("  server-0 thin time:    %10.3f %% of execution time\n", failFrac.Mean())
+	fmt.Printf("  final storage:         %10.1f entries\n", storage.Mean())
+	fmt.Printf("  final coverage:        %10.1f of ~%d live entries\n", coverage.Mean(), *steady)
+	fmt.Printf("  lookup(t=%d) satisfied: %9.2f %% of %d lookups\n", *target, satisfied.Mean(), *lookups)
+	return nil
+}
+
+// perServerTarget converts the client target into the per-server
+// threshold used by the thin-time probe.
+func perServerTarget(cfg wire.Config, t, n int) int {
+	switch cfg.Scheme {
+	case wire.FullReplication, wire.Fixed:
+		return t
+	case wire.RandomServer:
+		if cfg.X < t {
+			return cfg.X
+		}
+		return t
+	default:
+		per := t / n
+		if per < 1 {
+			per = 1
+		}
+		return per
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import "testing"
+
+func TestExtRSReplacementConfirmsPaperClaim(t *testing.T) {
+	tbl, err := ExtRSReplacement(Fidelity{Runs: 8, Lookups: 300, Updates: 2000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	cushion, replace := tbl.Rows[0], tbl.Rows[1]
+	// Sec. 5.3: "the replacement alternative results in higher
+	// unfairness than the cushion scheme when there are deletes".
+	if replace.Values[0] < cushion.Values[0] {
+		t.Errorf("replacement unfairness %v below cushion %v", replace.Values[0], cushion.Values[0])
+	}
+	// "finding a replacement is a costly operation": more messages.
+	if replace.Values[2] <= cushion.Values[2] {
+		t.Errorf("replacement msgs/update %v not above cushion %v", replace.Values[2], cushion.Values[2])
+	}
+	// Replacement keeps storage at (or above) the cushion variant.
+	if replace.Values[1] < cushion.Values[1] {
+		t.Errorf("replacement storage %v below cushion %v", replace.Values[1], cushion.Values[1])
+	}
+}
+
+func TestExtOverlayTradeoffShape(t *testing.T) {
+	tbl, err := ExtOverlayTradeoff(Fidelity{Runs: 20, Lookups: 100, Updates: 500}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want d=1..5", len(tbl.Rows))
+	}
+	prevServers, prevHops := 1e9, -1.0
+	for _, row := range tbl.Rows {
+		servers, hops := row.Values[0], row.Values[1]
+		// Larger d: fewer (or equal) servers, larger (or equal) mean
+		// client-server distance — the Sec. 7.2 tradeoff.
+		if servers > prevServers {
+			t.Errorf("d=%s: servers increased (%v after %v)", row.Label, servers, prevServers)
+		}
+		if hops < prevHops-0.2 {
+			t.Errorf("d=%s: mean hops decreased (%v after %v)", row.Label, hops, prevHops)
+		}
+		prevServers, prevHops = servers, hops
+		// Every client that can reach a server must satisfy t once d
+		// is large enough for full coverage per reachable set.
+		if row.Label >= "3" && row.Values[3] < 99 {
+			t.Errorf("d=%s: satisfied %v%%, want ~100%%", row.Label, row.Values[3])
+		}
+	}
+	// Update overhead shrinks with d (fewer servers to broadcast to).
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if last.Values[2] >= first.Values[2] {
+		t.Errorf("update msgs did not shrink: %v -> %v", first.Values[2], last.Values[2])
+	}
+}
+
+func TestExtensionRegistry(t *testing.T) {
+	exts := ExtensionExperiments()
+	if len(exts) != 5 {
+		t.Fatalf("extensions = %d", len(exts))
+	}
+	for _, e := range exts {
+		if _, err := Find(e.ID); err != nil {
+			t.Errorf("Find(%s): %v", e.ID, err)
+		}
+	}
+}
+
+func TestExtRandomFailuresDegrades(t *testing.T) {
+	tbl, err := ExtRandomFailures(Fidelity{Runs: 10, Lookups: 200, Updates: 500}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	for col := 0; col < 3; col++ {
+		if first.Values[col] < 99 {
+			t.Errorf("col %d: no-failure satisfaction %v%%, want ~100%%", col, first.Values[col])
+		}
+		if last.Values[col] > first.Values[col] {
+			t.Errorf("col %d: satisfaction rose under failures", col)
+		}
+	}
+	// With 8 of 10 servers down, nobody satisfies t=35 every time.
+	for col := 0; col < 3; col++ {
+		if last.Values[col] >= 100 {
+			t.Errorf("col %d: still 100%% satisfied with 8 failures", col)
+		}
+	}
+}
+
+func TestExtOptimalYPolicyTradeoff(t *testing.T) {
+	tbl, err := ExtOptimalYPolicy(Fidelity{Runs: 8, Lookups: 200, Updates: 1000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byH := map[string][]float64{}
+	for _, row := range tbl.Rows {
+		byH[row.Label] = row.Values
+	}
+	// At h=400 the adaptive policy (y=1) sends fewer messages than
+	// both pinned variants.
+	if byH["400"][0] >= byH["400"][1] || byH["400"][0] >= byH["400"][2] {
+		t.Errorf("h=400: adaptive msgs %v not below pinned (%v, %v)", byH["400"][0], byH["400"][1], byH["400"][2])
+	}
+	// At h=100 the adaptive policy (y=4) buys a cheaper lookup than
+	// pinned y=2.
+	if byH["100"][3] >= byH["100"][4] {
+		t.Errorf("h=100: adaptive cost %v not below y=2 cost %v", byH["100"][3], byH["100"][4])
+	}
+}
+
+func TestExtHotSpotConfirmsConclusion(t *testing.T) {
+	tbl, err := ExtHotSpot(Fidelity{Runs: 8, Lookups: 2000, Updates: 500}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]float64{}
+	for _, row := range tbl.Rows {
+		shares[row.Label] = row.Values[0]
+	}
+	// The key-hashed baseline concentrates far more load on its
+	// hottest server than any partial-lookup scheme.
+	for _, scheme := range []string{"FullReplication", "Round-2", "Hash-2"} {
+		if shares[scheme] >= shares["KeyPartition"]*0.8 {
+			t.Errorf("%s hottest-server share %v not clearly below KeyPartition %v",
+				scheme, shares[scheme], shares["KeyPartition"])
+		}
+	}
+	// Partial schemes stay near the ideal 1/n share.
+	for _, scheme := range []string{"FullReplication", "Round-2"} {
+		if shares[scheme] > 20 {
+			t.Errorf("%s hottest-server share %v%%, want near 10%%", scheme, shares[scheme])
+		}
+	}
+}

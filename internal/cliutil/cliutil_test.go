@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestParseScheme(t *testing.T) {
+	tests := []struct {
+		name    string
+		x, y    int
+		seed    uint64
+		want    wire.Config
+		wantErr bool
+	}{
+		{name: "full", want: wire.Config{Scheme: wire.FullReplication}},
+		{name: "FullReplication", want: wire.Config{Scheme: wire.FullReplication}},
+		{name: "fixed", x: 20, want: wire.Config{Scheme: wire.Fixed, X: 20}},
+		{name: "fixed", x: 0, wantErr: true},
+		{name: "randomserver", x: 10, want: wire.Config{Scheme: wire.RandomServer, X: 10}},
+		{name: "rs", x: 10, want: wire.Config{Scheme: wire.RandomServer, X: 10}},
+		{name: "round", y: 2, want: wire.Config{Scheme: wire.RoundRobin, Y: 2}},
+		{name: "roundrobin", y: 3, want: wire.Config{Scheme: wire.RoundRobin, Y: 3}},
+		{name: "round", y: 0, wantErr: true},
+		{name: "hash", y: 2, seed: 9, want: wire.Config{Scheme: wire.Hash, Y: 2, Seed: 9}},
+		{name: "partition", want: wire.Config{Scheme: wire.KeyPartition}},
+		{name: "chord", wantErr: true},
+		{name: "", wantErr: true},
+	}
+	for _, tc := range tests {
+		got, err := ParseScheme(tc.name, tc.x, tc.y, tc.seed)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseScheme(%q, x=%d, y=%d) accepted", tc.name, tc.x, tc.y)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseScheme(%q) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseServerList(t *testing.T) {
+	got, err := ParseServerList("a:1, b:2 ,c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "a:1" || got[1] != "b:2" || got[2] != "c:3" {
+		t.Fatalf("ParseServerList = %v", got)
+	}
+	if _, err := ParseServerList("a:1,,b:2"); err == nil {
+		t.Fatal("empty item accepted")
+	}
+	if _, err := ParseServerList(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}

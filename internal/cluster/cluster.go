@@ -1,0 +1,112 @@
+// Package cluster assembles n lookup server nodes over the in-process
+// transport, with failure injection and metric snapshots. It is the
+// substrate every simulation and benchmark runs on; the TCP deployment
+// path (cmd/plsd + transport.Client) shares the same node code.
+package cluster
+
+import (
+	"repro/internal/entry"
+	"repro/internal/node"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Cluster is a set of n in-process lookup servers.
+type Cluster struct {
+	tr    *transport.Inproc
+	nodes []*node.Node
+}
+
+// New creates a cluster of n servers. Each node receives an independent
+// RNG split from rng, so a cluster is fully reproducible from one seed.
+func New(n int, rng *stats.RNG) *Cluster {
+	if n <= 0 {
+		panic("cluster: New requires n > 0")
+	}
+	c := &Cluster{
+		tr:    transport.NewInproc(n),
+		nodes: make([]*node.Node, n),
+	}
+	for i := 0; i < n; i++ {
+		c.nodes[i] = node.New(i, rng.Split())
+		c.nodes[i].Attach(c.tr)
+		c.tr.Bind(i, c.nodes[i])
+	}
+	return c
+}
+
+// N returns the number of servers.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Caller returns the transport used to reach the servers; strategy
+// drivers consume it.
+func (c *Cluster) Caller() transport.Caller { return c.tr }
+
+// Node returns server i, for white-box inspection in tests and metrics.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// Fail marks server i as failed: subsequent calls to it return
+// transport.ErrServerDown.
+func (c *Cluster) Fail(i int) { c.tr.SetDown(i, true) }
+
+// Recover brings server i back. Its state is whatever it held when it
+// failed; the paper's strategies do not re-synchronize recovered
+// servers.
+func (c *Cluster) Recover(i int) { c.tr.SetDown(i, false) }
+
+// RecoverAll brings every server back.
+func (c *Cluster) RecoverAll() {
+	for i := range c.nodes {
+		c.tr.SetDown(i, false)
+	}
+}
+
+// Alive reports whether server i is operational.
+func (c *Cluster) Alive(i int) bool { return !c.tr.Down(i) }
+
+// AliveCount returns the number of operational servers.
+func (c *Cluster) AliveCount() int { return c.N() - c.tr.DownCount() }
+
+// Snapshot returns a copy of each server's local entry set for a key
+// (including failed servers' frozen state). Snapshots bypass the
+// transport so they never perturb message counters.
+func (c *Cluster) Snapshot(key string) []*entry.Set {
+	out := make([]*entry.Set, len(c.nodes))
+	for i, nd := range c.nodes {
+		out[i] = nd.LocalSet(key)
+	}
+	return out
+}
+
+// AliveSnapshot returns the local sets of operational servers only.
+func (c *Cluster) AliveSnapshot(key string) []*entry.Set {
+	out := make([]*entry.Set, 0, len(c.nodes))
+	for i, nd := range c.nodes {
+		if c.Alive(i) {
+			out = append(out, nd.LocalSet(key))
+		}
+	}
+	return out
+}
+
+// TotalStorage returns the combined number of entries stored across all
+// servers for a key: the paper's storage-cost metric (Sec. 4.1).
+func (c *Cluster) TotalStorage(key string) int {
+	total := 0
+	for _, nd := range c.nodes {
+		total += nd.LocalSet(key).Len()
+	}
+	return total
+}
+
+// Messages returns the total number of messages processed by all
+// servers: the paper's update-overhead metric (Sec. 6.4).
+func (c *Cluster) Messages() int64 { return c.tr.TotalProcessed() }
+
+// ProcessedBy returns the number of messages processed by one server,
+// for per-server load analyses (hot-spot experiments).
+func (c *Cluster) ProcessedBy(server int) int64 { return c.tr.Processed(server) }
+
+// ResetMessages zeroes the message counters (e.g. after placement, so
+// an experiment counts update traffic only).
+func (c *Cluster) ResetMessages() { c.tr.ResetCounters() }

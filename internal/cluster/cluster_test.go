@@ -1,0 +1,135 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/entry"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func placeFull(t *testing.T, cl *cluster.Cluster, h int) []entry.Entry {
+	t.Helper()
+	entries := entry.Synthetic(h)
+	es := make([]string, h)
+	for i, v := range entries {
+		es[i] = string(v)
+	}
+	reply, err := cl.Caller().Call(context.Background(), 0, wire.Place{
+		Key: "k", Config: wire.Config{Scheme: wire.FullReplication}, Entries: es,
+	})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if ack := reply.(wire.Ack); ack.Err != "" {
+		t.Fatalf("place ack: %s", ack.Err)
+	}
+	return entries
+}
+
+func TestClusterBasics(t *testing.T) {
+	cl := cluster.New(4, stats.NewRNG(1))
+	if cl.N() != 4 || cl.Caller().NumServers() != 4 {
+		t.Fatalf("N = %d", cl.N())
+	}
+	placeFull(t, cl, 7)
+	if got := cl.TotalStorage("k"); got != 28 {
+		t.Fatalf("TotalStorage = %d, want 28", got)
+	}
+	snap := cl.Snapshot("k")
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+	for i, s := range snap {
+		if s.Len() != 7 {
+			t.Fatalf("snapshot[%d] has %d entries", i, s.Len())
+		}
+	}
+}
+
+func TestClusterFailureInjection(t *testing.T) {
+	cl := cluster.New(3, stats.NewRNG(2))
+	placeFull(t, cl, 2)
+	cl.Fail(1)
+	if cl.Alive(1) || !cl.Alive(0) {
+		t.Fatal("Alive flags wrong")
+	}
+	if cl.AliveCount() != 2 {
+		t.Fatalf("AliveCount = %d", cl.AliveCount())
+	}
+	_, err := cl.Caller().Call(context.Background(), 1, wire.Ping{})
+	if !errors.Is(err, transport.ErrServerDown) {
+		t.Fatalf("call to failed server = %v", err)
+	}
+	// Failed server state is frozen and visible in Snapshot but not
+	// AliveSnapshot.
+	if len(cl.AliveSnapshot("k")) != 2 {
+		t.Fatal("AliveSnapshot wrong length")
+	}
+	if len(cl.Snapshot("k")) != 3 {
+		t.Fatal("Snapshot wrong length")
+	}
+	cl.Recover(1)
+	if cl.AliveCount() != 3 {
+		t.Fatal("Recover did not restore")
+	}
+	cl.Fail(0)
+	cl.Fail(2)
+	cl.RecoverAll()
+	if cl.AliveCount() != 3 {
+		t.Fatal("RecoverAll did not restore")
+	}
+}
+
+func TestClusterMessageCounters(t *testing.T) {
+	cl := cluster.New(5, stats.NewRNG(3))
+	placeFull(t, cl, 3)
+	// Place cost: 1 client request + 5 broadcast receipts.
+	if got := cl.Messages(); got != 6 {
+		t.Fatalf("Messages after place = %d, want 6", got)
+	}
+	cl.ResetMessages()
+	if cl.Messages() != 0 {
+		t.Fatal("ResetMessages failed")
+	}
+	// Snapshots must not count messages.
+	cl.Snapshot("k")
+	cl.TotalStorage("k")
+	if cl.Messages() != 0 {
+		t.Fatal("snapshot perturbed message counters")
+	}
+}
+
+func TestClusterDeterministicFromSeed(t *testing.T) {
+	build := func() string {
+		cl := cluster.New(6, stats.NewRNG(99))
+		es := make([]string, 50)
+		for i, v := range entry.Synthetic(50) {
+			es[i] = string(v)
+		}
+		cl.Caller().Call(context.Background(), 0, wire.Place{
+			Key: "k", Config: wire.Config{Scheme: wire.RandomServer, X: 10}, Entries: es,
+		})
+		out := ""
+		for _, s := range cl.Snapshot("k") {
+			out += s.String() + ";"
+		}
+		return out
+	}
+	if build() != build() {
+		t.Fatal("same-seed clusters produced different placements")
+	}
+}
+
+func TestClusterNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	cluster.New(0, stats.NewRNG(1))
+}

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/entry"
+	"repro/internal/stats"
+)
+
+// TestConcurrentServiceUse hammers one Service from many goroutines
+// (lookups and updates interleaved across keys and schemes). Run under
+// -race this pins the concurrency-safety of Service, Driver, Node, and
+// the in-process transport.
+func TestConcurrentServiceUse(t *testing.T) {
+	cl := cluster.New(8, stats.NewRNG(77))
+	svc, err := core.NewService(cl.Caller(),
+		core.WithSeed(3),
+		core.WithKeyConfig("full", core.Config{Scheme: core.FullReplication}),
+		core.WithKeyConfig("fixed", core.Config{Scheme: core.Fixed, X: 20}),
+		core.WithKeyConfig("rs", core.Config{Scheme: core.RandomServer, X: 20}),
+		core.WithKeyConfig("hash", core.Config{Scheme: core.Hash, Y: 2, Seed: 5}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	keys := []string{"full", "fixed", "rs", "hash"}
+	for _, key := range keys {
+		if err := svc.Place(ctx, key, entry.Synthetic(50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := keys[g%len(keys)]
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					if _, err := svc.PartialLookup(ctx, key, 5); err != nil {
+						errs <- fmt.Errorf("lookup %s: %w", key, err)
+						return
+					}
+				case 1:
+					v := core.Entry(fmt.Sprintf("g%d-i%d", g, i))
+					if err := svc.Add(ctx, key, v); err != nil {
+						errs <- fmt.Errorf("add %s: %w", key, err)
+						return
+					}
+				default:
+					if err := svc.Delete(ctx, key, core.Entry(fmt.Sprintf("g%d-i%d", g, i-1))); err != nil {
+						errs <- fmt.Errorf("delete %s: %w", key, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The service is still coherent afterwards.
+	for _, key := range keys {
+		res, err := svc.PartialLookup(ctx, key, 5)
+		if err != nil {
+			t.Fatalf("post-storm lookup %s: %v", key, err)
+		}
+		if !res.Satisfied(5) {
+			t.Fatalf("post-storm %s returned %d entries", key, len(res.Entries))
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package core implements the paper's primary contribution: a partial
+// lookup service (Sec. 2) managing many keys over a cluster of lookup
+// servers, where each lookup returns at least t entries rather than the
+// full entry set.
+//
+// Service is the public API surface. Each key is managed by one of the
+// five placement strategies of Sec. 3; different keys may use different
+// strategies ("frequently updated keys require strategies with small
+// update costs, while static keys want low lookup costs and fairness"),
+// selected per key, by a classifier, or by a service-wide default.
+//
+// The service runs over any transport.Caller: the in-process cluster
+// (cluster.New) for simulation and testing, or transport.NewClient for
+// a real TCP deployment of cmd/plsd daemons.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/entry"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Re-exported protocol types, so API consumers need only this package.
+type (
+	// Entry is one value associated with a key.
+	Entry = entry.Entry
+	// Config selects a placement strategy and its parameter.
+	Config = wire.Config
+	// Scheme identifies one of the five placement strategies.
+	Scheme = wire.Scheme
+)
+
+// The five placement strategies of Sec. 3.
+const (
+	FullReplication = wire.FullReplication
+	Fixed           = wire.Fixed
+	RandomServer    = wire.RandomServer
+	RoundRobin      = wire.RoundRobin
+	Hash            = wire.Hash
+	// KeyPartition is the traditional hashing baseline (Fig. 1
+	// center): the key's complete entry set on one hashed server.
+	KeyPartition = wire.KeyPartition
+)
+
+// Classifier maps a key to its strategy configuration. Returning
+// ok=false defers to the service default.
+type Classifier func(key string) (Config, bool)
+
+// Service is a multi-key partial lookup service.
+type Service struct {
+	caller     transport.Caller
+	defaultCfg Config
+	classifier Classifier
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	perKey  map[string]Config
+	drivers map[Config]*strategy.Driver
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithDefaultConfig sets the strategy used for keys with no explicit or
+// classified configuration. The default is Round-Robin with y=1.
+func WithDefaultConfig(cfg Config) Option {
+	return func(s *Service) { s.defaultCfg = cfg }
+}
+
+// WithKeyConfig pins one key to a configuration.
+func WithKeyConfig(key string, cfg Config) Option {
+	return func(s *Service) { s.perKey[key] = cfg }
+}
+
+// WithClassifier installs a key classifier consulted for keys that have
+// no pinned configuration.
+func WithClassifier(c Classifier) Option {
+	return func(s *Service) { s.classifier = c }
+}
+
+// WithSeed seeds the service's randomness (server selection, probe
+// order). Services with equal seeds over equal clusters behave
+// identically. The default seed is 1.
+func WithSeed(seed uint64) Option {
+	return func(s *Service) { s.rng = stats.NewRNG(seed) }
+}
+
+// NewService returns a service over the given transport.
+func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
+	if caller == nil {
+		return nil, errors.New("core: nil caller")
+	}
+	if caller.NumServers() <= 0 {
+		return nil, errors.New("core: caller reports no servers")
+	}
+	s := &Service{
+		caller:     caller,
+		defaultCfg: Config{Scheme: RoundRobin, Y: 1},
+		rng:        stats.NewRNG(1),
+		perKey:     make(map[string]Config),
+		drivers:    make(map[Config]*strategy.Driver),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	for key, cfg := range s.perKey {
+		if err := cfg.Validate(caller.NumServers()); err != nil {
+			return nil, fmt.Errorf("core: config for key %q: %w", key, err)
+		}
+	}
+	if err := s.defaultCfg.Validate(caller.NumServers()); err != nil {
+		return nil, fmt.Errorf("core: default config: %w", err)
+	}
+	return s, nil
+}
+
+// ConfigFor returns the configuration that manages key.
+func (s *Service) ConfigFor(key string) Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.configForLocked(key)
+}
+
+func (s *Service) configForLocked(key string) Config {
+	if cfg, ok := s.perKey[key]; ok {
+		return cfg
+	}
+	if s.classifier != nil {
+		if cfg, ok := s.classifier(key); ok {
+			if cfg.Validate(s.caller.NumServers()) == nil {
+				return cfg
+			}
+		}
+	}
+	return s.defaultCfg
+}
+
+// SetKeyConfig pins key to cfg for subsequent operations. Changing the
+// strategy of an already-placed key takes effect on the next Place.
+func (s *Service) SetKeyConfig(key string, cfg Config) error {
+	if err := cfg.Validate(s.caller.NumServers()); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perKey[key] = cfg
+	return nil
+}
+
+// driverFor returns (creating if needed) the driver for a config.
+func (s *Service) driverFor(key string) *strategy.Driver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg := s.configForLocked(key)
+	d, ok := s.drivers[cfg]
+	if !ok {
+		d = strategy.MustNew(cfg, s.rng.Split())
+		s.drivers[cfg] = d
+	}
+	return d
+}
+
+// Place sets the complete entry set for a key: place(k, {v1..vh}).
+func (s *Service) Place(ctx context.Context, key string, entries []Entry) error {
+	for _, v := range entries {
+		if !v.Valid() {
+			return fmt.Errorf("core: place %q: invalid empty entry", key)
+		}
+	}
+	return s.driverFor(key).Place(ctx, s.caller, key, entries)
+}
+
+// Add inserts one entry: add(k, v).
+func (s *Service) Add(ctx context.Context, key string, v Entry) error {
+	if !v.Valid() {
+		return fmt.Errorf("core: add %q: invalid empty entry", key)
+	}
+	return s.driverFor(key).Add(ctx, s.caller, key, v)
+}
+
+// Delete removes one entry: delete(k, v).
+func (s *Service) Delete(ctx context.Context, key string, v Entry) error {
+	if !v.Valid() {
+		return fmt.Errorf("core: delete %q: invalid empty entry", key)
+	}
+	return s.driverFor(key).Delete(ctx, s.caller, key, v)
+}
+
+// PartialLookup retrieves at least t entries for key when possible:
+// partial_lookup(k, t). Fewer than t entries in the result is not an
+// error — check Result.Satisfied(t) — because a thin answer is an
+// expected condition under deletes and failures (Sec. 5.2).
+func (s *Service) PartialLookup(ctx context.Context, key string, t int) (strategy.Result, error) {
+	return s.driverFor(key).PartialLookup(ctx, s.caller, key, t)
+}
+
+// CostFunc scores an entry for a preference-aware lookup; lower is
+// better (e.g. measured latency to the provider the entry names).
+type CostFunc func(Entry) float64
+
+// PreferenceLookup implements the Sec. 7.1 variation: return the t
+// best entries under the client's cost function. Because servers store
+// only partial entry sets, the client over-fetches — it probes for
+// overfetch×t entries (minimum t) and keeps the t cheapest retrieved.
+// The result is the best available approximation of the true top-t;
+// with overfetch spanning the full coverage it is exact.
+func (s *Service) PreferenceLookup(ctx context.Context, key string, t int, overfetch float64, cost CostFunc) (strategy.Result, error) {
+	if cost == nil {
+		return strategy.Result{}, errors.New("core: nil cost function")
+	}
+	if overfetch < 1 {
+		overfetch = 1
+	}
+	target := int(float64(t) * overfetch)
+	if target < t {
+		target = t
+	}
+	res, err := s.PartialLookup(ctx, key, target)
+	if err != nil {
+		return res, err
+	}
+	sort.SliceStable(res.Entries, func(i, j int) bool {
+		return cost(res.Entries[i]) < cost(res.Entries[j])
+	})
+	if len(res.Entries) > t {
+		res.Entries = res.Entries[:t]
+	}
+	return res, nil
+}

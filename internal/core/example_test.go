@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/entry"
+	"repro/internal/stats"
+)
+
+// ExampleService shows the basic lifecycle: place a key's entries under
+// Round-Robin-2 on ten servers, then retrieve a partial answer.
+func ExampleService() {
+	ctx := context.Background()
+	cl := cluster.New(10, stats.NewRNG(1))
+	svc, err := core.NewService(cl.Caller(),
+		core.WithSeed(1),
+		core.WithDefaultConfig(core.Config{Scheme: core.RoundRobin, Y: 2}))
+	if err != nil {
+		panic(err)
+	}
+
+	// 100 locations for one file.
+	if err := svc.Place(ctx, "ubuntu.iso", entry.Synthetic(100)); err != nil {
+		panic(err)
+	}
+
+	// A client needs any 3 of them.
+	res, err := svc.PartialLookup(ctx, "ubuntu.iso", 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("satisfied:", res.Satisfied(3))
+	fmt.Println("servers contacted:", res.Contacted)
+	fmt.Println("total storage:", cl.TotalStorage("ubuntu.iso"))
+	// Output:
+	// satisfied: true
+	// servers contacted: 1
+	// total storage: 200
+}
+
+// ExampleService_preferenceLookup demonstrates the Sec. 7.1 variation:
+// the client ranks entries by a cost function and receives the t best
+// among an over-fetched candidate set.
+func ExampleService_preferenceLookup() {
+	ctx := context.Background()
+	cl := cluster.New(4, stats.NewRNG(2))
+	svc, err := core.NewService(cl.Caller(),
+		core.WithSeed(2),
+		core.WithDefaultConfig(core.Config{Scheme: core.FullReplication}))
+	if err != nil {
+		panic(err)
+	}
+	if err := svc.Place(ctx, "mirrors", []core.Entry{"eu-1", "eu-2", "us-1", "us-2", "ap-1"}); err != nil {
+		panic(err)
+	}
+	// Prefer European mirrors (cost 0) over the rest (cost 1).
+	cost := func(v core.Entry) float64 {
+		if v == "eu-1" || v == "eu-2" {
+			return 0
+		}
+		return 1
+	}
+	res, err := svc.PreferenceLookup(ctx, "mirrors", 2, 3, cost)
+	if err != nil {
+		panic(err)
+	}
+	got := make([]string, len(res.Entries))
+	for i, v := range res.Entries {
+		got[i] = string(v)
+	}
+	sort.Strings(got)
+	fmt.Println(got)
+	// Output:
+	// [eu-1 eu-2]
+}

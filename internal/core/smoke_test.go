@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/entry"
+	"repro/internal/stats"
+)
+
+// TestSmokeAllSchemes drives place → lookup → add → delete → lookup
+// through every strategy on a 10-server cluster.
+func TestSmokeAllSchemes(t *testing.T) {
+	configs := []core.Config{
+		{Scheme: core.FullReplication},
+		{Scheme: core.Fixed, X: 20},
+		{Scheme: core.RandomServer, X: 20},
+		{Scheme: core.RoundRobin, Y: 2},
+		{Scheme: core.Hash, Y: 2},
+		{Scheme: core.KeyPartition},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.String(), func(t *testing.T) {
+			ctx := context.Background()
+			cl := cluster.New(10, stats.NewRNG(42))
+			svc, err := core.NewService(cl.Caller(),
+				core.WithSeed(7),
+				core.WithDefaultConfig(cfg))
+			if err != nil {
+				t.Fatalf("NewService: %v", err)
+			}
+			entries := entry.Synthetic(100)
+			if err := svc.Place(ctx, "k", entries); err != nil {
+				t.Fatalf("Place: %v", err)
+			}
+			res, err := svc.PartialLookup(ctx, "k", 15)
+			if err != nil {
+				t.Fatalf("PartialLookup: %v", err)
+			}
+			if !res.Satisfied(15) {
+				t.Fatalf("lookup got %d entries, want >= 15 (contacted %d)", len(res.Entries), res.Contacted)
+			}
+			seen := make(map[core.Entry]bool)
+			for _, v := range res.Entries {
+				if seen[v] {
+					t.Fatalf("duplicate entry %q in lookup result", v)
+				}
+				seen[v] = true
+			}
+			if err := svc.Add(ctx, "k", "extra1"); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if err := svc.Delete(ctx, "k", "v1"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			res, err = svc.PartialLookup(ctx, "k", 10)
+			if err != nil {
+				t.Fatalf("PartialLookup after updates: %v", err)
+			}
+			if !res.Satisfied(10) {
+				t.Fatalf("lookup after updates got %d entries, want >= 10", len(res.Entries))
+			}
+			t.Logf("%v storage: %d contacted: %d", cfg, cl.TotalStorage("k"), res.Contacted)
+		})
+	}
+}

@@ -1,0 +1,245 @@
+// Package entry defines the Entry type managed by a partial lookup service
+// and Set, an indexed set of entries supporting O(1) insertion, removal,
+// membership tests, and uniform random sampling.
+//
+// Entries are opaque byte strings: the location of a resource (an IP
+// address, a URL) or the resource itself. The paper treats all entries as
+// equal-sized opaque values; Set mirrors that by storing entries without
+// interpreting them.
+package entry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is a single value associated with a key in the lookup service.
+// The empty string is not a valid entry.
+type Entry string
+
+// Valid reports whether e may be stored in a Set.
+func (e Entry) Valid() bool { return e != "" }
+
+// Sampler is the source of randomness Set needs for uniform sampling.
+// *stats.RNG satisfies it; so does *rand.Rand from math/rand.
+type Sampler interface {
+	// IntN returns a uniform int in [0, n). It must panic if n <= 0.
+	IntN(n int) int
+}
+
+// Set is an indexed set of entries. The zero value is an empty set ready
+// for use. Set is not safe for concurrent use; callers (e.g. a server
+// node) serialize access.
+//
+// Internally a Set keeps a dense slice of its members plus an index map,
+// so insertion, removal, membership and uniform sampling are all O(1).
+// Each member also carries a monotonically increasing sequence number
+// recording insertion order, which the Round-Robin strategy uses to find
+// the oldest entry at a server ("head" entry, Fig. 10 of the paper).
+type Set struct {
+	members []Entry
+	seqs    []uint64 // seqs[i] is the insertion sequence of members[i]
+	index   map[Entry]int
+	nextSeq uint64
+}
+
+// NewSet returns a set pre-sized for n members.
+func NewSet(n int) *Set {
+	return &Set{
+		members: make([]Entry, 0, n),
+		seqs:    make([]uint64, 0, n),
+		index:   make(map[Entry]int, n),
+	}
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.members) }
+
+// Contains reports whether v is a member.
+func (s *Set) Contains(v Entry) bool {
+	if s.index == nil {
+		return false
+	}
+	_, ok := s.index[v]
+	return ok
+}
+
+// Add inserts v and reports whether it was not already present.
+// Adding an invalid entry panics: it indicates a caller bug, not an
+// environmental failure.
+func (s *Set) Add(v Entry) bool {
+	if !v.Valid() {
+		panic("entry: Add called with invalid (empty) entry")
+	}
+	if s.index == nil {
+		s.index = make(map[Entry]int)
+	}
+	if _, ok := s.index[v]; ok {
+		return false
+	}
+	s.index[v] = len(s.members)
+	s.members = append(s.members, v)
+	s.seqs = append(s.seqs, s.nextSeq)
+	s.nextSeq++
+	return true
+}
+
+// Remove deletes v and reports whether it was present.
+func (s *Set) Remove(v Entry) bool {
+	if s.index == nil {
+		return false
+	}
+	i, ok := s.index[v]
+	if !ok {
+		return false
+	}
+	last := len(s.members) - 1
+	moved := s.members[last]
+	s.members[i] = moved
+	s.seqs[i] = s.seqs[last]
+	s.index[moved] = i
+	s.members = s.members[:last]
+	s.seqs = s.seqs[:last]
+	delete(s.index, v)
+	return true
+}
+
+// At returns the i-th member in internal (unspecified) order.
+// It panics if i is out of range.
+func (s *Set) At(i int) Entry { return s.members[i] }
+
+// Oldest returns the member with the smallest insertion sequence number,
+// skipping any entries for which skip returns true. It returns false if
+// no eligible member exists. skip may be nil.
+//
+// The Round-Robin delete protocol uses Oldest to pick the replacement
+// entry at the head server (Sec. 5.4).
+func (s *Set) Oldest(skip func(Entry) bool) (Entry, bool) {
+	best := -1
+	for i := range s.members {
+		if skip != nil && skip(s.members[i]) {
+			continue
+		}
+		if best == -1 || s.seqs[i] < s.seqs[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		return "", false
+	}
+	return s.members[best], true
+}
+
+// Sample returns min(t, Len) distinct members chosen uniformly at random.
+// This is the paper's server-side answer rule: "each contacted server
+// returns t randomly selected entries stored on the server or all the
+// entries if the total is less than t".
+//
+// The returned slice is freshly allocated. Sample does not mutate the set:
+// it performs a partial Fisher-Yates shuffle over a scratch copy of the
+// member indices.
+func (s *Set) Sample(r Sampler, t int) []Entry {
+	if t <= 0 || s.Len() == 0 {
+		return nil
+	}
+	n := s.Len()
+	if t >= n {
+		out := make([]Entry, n)
+		copy(out, s.members)
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]Entry, t)
+	for i := 0; i < t; i++ {
+		j := i + r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = s.members[idx[i]]
+	}
+	return out
+}
+
+// Members returns a copy of the member slice in internal order.
+func (s *Set) Members() []Entry {
+	out := make([]Entry, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Clone returns a deep copy of the set, preserving insertion sequences.
+func (s *Set) Clone() *Set {
+	c := NewSet(s.Len())
+	c.members = append(c.members[:0], s.members...)
+	c.seqs = append(c.seqs[:0], s.seqs...)
+	for v, i := range s.index {
+		c.index[v] = i
+	}
+	c.nextSeq = s.nextSeq
+	return c
+}
+
+// Clear removes all members but keeps allocated capacity.
+func (s *Set) Clear() {
+	s.members = s.members[:0]
+	s.seqs = s.seqs[:0]
+	for k := range s.index {
+		delete(s.index, k)
+	}
+}
+
+// String renders the set sorted, for test failure messages.
+func (s *Set) String() string {
+	ms := s.Members()
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(m))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Union returns the number of distinct entries across the given sets.
+func Union(sets ...*Set) int {
+	seen := make(map[Entry]struct{})
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		for _, m := range s.members {
+			seen[m] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Dedup appends to dst the entries of src not already present in seen,
+// recording them in seen. It returns the extended dst. Clients use it to
+// merge answers from multiple servers during a partial lookup.
+func Dedup(dst []Entry, seen map[Entry]struct{}, src []Entry) []Entry {
+	for _, v := range src {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Synthetic returns h synthetic entries "v1".."vh" for tests, examples,
+// and the benchmark harness.
+func Synthetic(h int) []Entry {
+	out := make([]Entry, h)
+	for i := range out {
+		out[i] = Entry(fmt.Sprintf("v%d", i+1))
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package node_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/entry"
+	"repro/internal/node"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// TestChurnInvariantsAllSchemes drives every scheme through a long
+// random add/delete sequence and verifies the invariants each one
+// promises:
+//
+//   - no deleted entry survives anywhere;
+//   - every added entry that the scheme guarantees to store is stored
+//     (complete-coverage schemes: somewhere; replicated schemes: on
+//     every server, capacity permitting);
+//   - per-server sizes respect the scheme's bound (x for the subset
+//     schemes);
+//   - RandomServer's system-size counters track the live population.
+func TestChurnInvariantsAllSchemes(t *testing.T) {
+	const (
+		n     = 8
+		steps = 600
+	)
+	configs := []wire.Config{
+		{Scheme: wire.FullReplication},
+		{Scheme: wire.Fixed, X: 12},
+		{Scheme: wire.RandomServer, X: 12},
+		{Scheme: wire.RandomServer, X: 12, RSReplace: true},
+		{Scheme: wire.RoundRobin, Y: 3},
+		{Scheme: wire.RoundRobin, Y: 3, Coordinators: 2},
+		{Scheme: wire.Hash, Y: 3, Seed: 11},
+		{Scheme: wire.KeyPartition},
+	}
+	for ci, cfg := range configs {
+		name := cfg.String()
+		if cfg.Coordinators > 1 {
+			name += "+coords"
+		}
+		t.Run(name, func(t *testing.T) {
+			h := newHarness(t, n, uint64(90+ci))
+			rng := stats.NewRNG(uint64(1000 + ci))
+			live := entry.NewSet(64)
+			initial := entry.Synthetic(30)
+			h.place(initialServer(cfg, "k", n), cfg, initial)
+			for _, v := range initial {
+				live.Add(v)
+			}
+			nextID := 31
+			for step := 0; step < steps; step++ {
+				server := initialServer(cfg, "k", n)
+				if live.Len() > 5 && rng.Bool(0.5) {
+					victim := live.At(rng.IntN(live.Len()))
+					h.mustAck(server, wire.Delete{Key: "k", Config: cfg, Entry: string(victim)})
+					live.Remove(victim)
+				} else {
+					v := entry.Entry(fmt.Sprintf("c%d", nextID))
+					nextID++
+					h.mustAck(server, wire.Add{Key: "k", Config: cfg, Entry: string(v)})
+					live.Add(v)
+				}
+			}
+
+			copies := make(map[entry.Entry]int)
+			for s := 0; s < n; s++ {
+				set := h.set(s)
+				// Per-server bound for the subset schemes.
+				if cfg.Scheme == wire.Fixed || cfg.Scheme == wire.RandomServer {
+					if set.Len() > cfg.X {
+						t.Fatalf("server %d holds %d > x=%d", s, set.Len(), cfg.X)
+					}
+				}
+				for _, v := range set.Members() {
+					copies[v]++
+					if !live.Contains(v) {
+						t.Fatalf("server %d resurrects deleted entry %s", s, v)
+					}
+				}
+				// RandomServer counter tracks the live population.
+				if cfg.Scheme == wire.RandomServer {
+					if got := h.cl.Node(s).SystemCount("k"); got != live.Len() {
+						t.Fatalf("server %d hCount=%d, live=%d", s, got, live.Len())
+					}
+				}
+			}
+			// Scheme-specific storage guarantees over the live set.
+			for _, v := range live.Members() {
+				c := copies[v]
+				switch cfg.Scheme {
+				case wire.FullReplication:
+					if c != n {
+						t.Fatalf("full replication: %s on %d servers, want %d", v, c, n)
+					}
+				case wire.RoundRobin:
+					if c != cfg.Y {
+						t.Fatalf("round: %s has %d copies, want %d", v, c, cfg.Y)
+					}
+				case wire.Hash:
+					want := 0
+					for range hashTargets(string(v), cfg, n) {
+						want++
+					}
+					if c != want {
+						t.Fatalf("hash: %s has %d copies, want %d", v, c, want)
+					}
+				case wire.KeyPartition:
+					if c != 1 {
+						t.Fatalf("partition: %s has %d copies, want 1", v, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// initialServer picks a legal initial server for an update under cfg.
+func initialServer(cfg wire.Config, key string, n int) int {
+	switch cfg.Scheme {
+	case wire.RoundRobin:
+		return 0
+	default:
+		return 1 % n
+	}
+}
+
+func hashTargets(v string, cfg wire.Config, n int) []int {
+	return node.HashAssign(v, cfg.Y, n, cfg.Seed)
+}

@@ -1,0 +1,257 @@
+package node_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/entry"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// TestRoundRobinY1DeleteChain exercises Round-1 (single copies): every
+// delete migrates the head entry into the hole; after deleting half
+// the entries, each survivor has exactly one copy.
+func TestRoundRobinY1DeleteChain(t *testing.T) {
+	h := newHarness(t, 4, 60)
+	cfg := wire.Config{Scheme: wire.RoundRobin, Y: 1}
+	entries := entry.Synthetic(12)
+	h.place(0, cfg, entries)
+	for i := 0; i < 6; i++ {
+		h.mustAck(0, wire.Delete{Key: "k", Config: cfg, Entry: string(entries[2*i])})
+	}
+	copies := make(map[entry.Entry]int)
+	total := 0
+	for s := 0; s < 4; s++ {
+		for _, v := range h.set(s).Members() {
+			copies[v]++
+			total++
+		}
+	}
+	if total != 6 {
+		t.Fatalf("total copies = %d, want 6", total)
+	}
+	for i := 0; i < 6; i++ {
+		v := entries[2*i+1]
+		if copies[v] != 1 {
+			t.Fatalf("survivor %s has %d copies, want 1", v, copies[v])
+		}
+	}
+}
+
+// TestRoundRobinYEqualsN is the degenerate full-replication corner:
+// every entry on every server; deletes still work.
+func TestRoundRobinYEqualsN(t *testing.T) {
+	h := newHarness(t, 3, 61)
+	cfg := wire.Config{Scheme: wire.RoundRobin, Y: 3}
+	h.place(0, cfg, entry.Synthetic(5))
+	for s := 0; s < 3; s++ {
+		if h.set(s).Len() != 5 {
+			t.Fatalf("server %d has %d entries, want all 5", s, h.set(s).Len())
+		}
+	}
+	h.mustAck(0, wire.Delete{Key: "k", Config: cfg, Entry: "v2"})
+	for s := 0; s < 3; s++ {
+		if h.set(s).Contains("v2") {
+			t.Fatalf("server %d still has deleted v2", s)
+		}
+		if h.set(s).Len() != 4 {
+			t.Fatalf("server %d has %d entries, want 4", s, h.set(s).Len())
+		}
+	}
+}
+
+// TestRoundRobinDeleteHeadEntryItself deletes the entry currently at
+// the head position: no migration is needed (the hole IS the head) and
+// nothing may be lost.
+func TestRoundRobinDeleteHeadEntryItself(t *testing.T) {
+	h := newHarness(t, 4, 62)
+	cfg := wire.Config{Scheme: wire.RoundRobin, Y: 2}
+	entries := entry.Synthetic(6)
+	h.place(0, cfg, entries)
+	// head position is 0; entry v1 sits there.
+	h.mustAck(0, wire.Delete{Key: "k", Config: cfg, Entry: "v1"})
+	copies := make(map[entry.Entry]int)
+	for s := 0; s < 4; s++ {
+		for _, v := range h.set(s).Members() {
+			copies[v]++
+		}
+	}
+	if copies["v1"] != 0 {
+		t.Fatal("deleted head entry survived")
+	}
+	for i := 1; i < 6; i++ {
+		if copies[entries[i]] != 2 {
+			t.Fatalf("entry %s has %d copies, want 2", entries[i], copies[entries[i]])
+		}
+	}
+	if head, _ := h.cl.Node(0).Counters("k"); head != 1 {
+		t.Fatalf("head = %d, want 1", head)
+	}
+}
+
+// TestRoundRobinDeleteUntilEmpty drains the key completely and then
+// keeps deleting: the protocol must not wedge or resurrect entries.
+func TestRoundRobinDeleteUntilEmpty(t *testing.T) {
+	h := newHarness(t, 3, 63)
+	cfg := wire.Config{Scheme: wire.RoundRobin, Y: 2}
+	entries := entry.Synthetic(5)
+	h.place(0, cfg, entries)
+	for _, v := range entries {
+		h.mustAck(0, wire.Delete{Key: "k", Config: cfg, Entry: string(v)})
+	}
+	for s := 0; s < 3; s++ {
+		if h.set(s).Len() != 0 {
+			t.Fatalf("server %d not empty: %s", s, h.set(s))
+		}
+	}
+	// Deleting from an empty key is a no-op, not a crash.
+	h.mustAck(0, wire.Delete{Key: "k", Config: cfg, Entry: "v1"})
+	// And the key remains usable for adds.
+	h.mustAck(0, wire.Add{Key: "k", Config: cfg, Entry: "reborn"})
+	found := 0
+	for s := 0; s < 3; s++ {
+		if h.set(s).Contains("reborn") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("re-added entry on %d servers, want y=2", found)
+	}
+}
+
+// TestHashYGreaterThanN: with y > n, collisions cap each entry at n
+// distinct copies.
+func TestHashYGreaterThanN(t *testing.T) {
+	h := newHarness(t, 3, 64)
+	cfg := wire.Config{Scheme: wire.Hash, Y: 8, Seed: 5}
+	h.place(0, cfg, entry.Synthetic(10))
+	for _, v := range entry.Synthetic(10) {
+		copies := 0
+		for s := 0; s < 3; s++ {
+			if h.set(s).Contains(v) {
+				copies++
+			}
+		}
+		if copies < 1 || copies > 3 {
+			t.Fatalf("entry %s has %d copies with y=8, n=3", v, copies)
+		}
+	}
+}
+
+// TestDuplicateAddIsIdempotent adds the same entry twice under every
+// scheme; no server may hold duplicates and the system must not grow.
+func TestDuplicateAddIsIdempotent(t *testing.T) {
+	configs := []wire.Config{
+		{Scheme: wire.FullReplication},
+		{Scheme: wire.Fixed, X: 30},
+		{Scheme: wire.Hash, Y: 2, Seed: 3},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.String(), func(t *testing.T) {
+			h := newHarness(t, 4, 65)
+			h.place(0, cfg, entry.Synthetic(10))
+			h.mustAck(1, wire.Add{Key: "k", Config: cfg, Entry: "dup"})
+			sizeAfterFirst := 0
+			for s := 0; s < 4; s++ {
+				sizeAfterFirst += h.set(s).Len()
+			}
+			h.mustAck(2, wire.Add{Key: "k", Config: cfg, Entry: "dup"})
+			sizeAfterSecond := 0
+			for s := 0; s < 4; s++ {
+				sizeAfterSecond += h.set(s).Len()
+			}
+			if sizeAfterSecond != sizeAfterFirst {
+				t.Fatalf("duplicate add grew storage %d -> %d", sizeAfterFirst, sizeAfterSecond)
+			}
+		})
+	}
+}
+
+// TestUpdatesProceedPastDownServers verifies the best-effort fault
+// model: with one server down, updates still apply on the survivors
+// and the down server's state is frozen.
+func TestUpdatesProceedPastDownServers(t *testing.T) {
+	configs := []wire.Config{
+		{Scheme: wire.FullReplication},
+		{Scheme: wire.Fixed, X: 15},
+		{Scheme: wire.RandomServer, X: 15},
+		{Scheme: wire.Hash, Y: 3, Seed: 7},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.String(), func(t *testing.T) {
+			h := newHarness(t, 5, 66)
+			h.place(0, cfg, entry.Synthetic(10))
+			frozen := h.set(3).String()
+			h.cl.Fail(3)
+			// Route the update through a live server.
+			h.mustAck(1, wire.Add{Key: "k", Config: cfg, Entry: "while-down"})
+			h.mustAck(2, wire.Delete{Key: "k", Config: cfg, Entry: "v1"})
+			if got := h.set(3).String(); got != frozen {
+				t.Fatalf("down server state changed: %s -> %s", frozen, got)
+			}
+			for _, s := range []int{0, 1, 2, 4} {
+				if h.set(s).Contains("v1") {
+					t.Fatalf("live server %d still holds deleted v1", s)
+				}
+			}
+		})
+	}
+}
+
+// TestAddRecoveredServerIsStale documents the paper's model: a
+// recovered server is not re-synchronized; it simply rejoins with its
+// frozen state.
+func TestAddRecoveredServerIsStale(t *testing.T) {
+	h := newHarness(t, 3, 67)
+	cfg := wire.Config{Scheme: wire.FullReplication}
+	h.place(0, cfg, entry.Synthetic(5))
+	h.cl.Fail(2)
+	h.mustAck(0, wire.Add{Key: "k", Config: cfg, Entry: "missed"})
+	h.cl.Recover(2)
+	if h.set(2).Contains("missed") {
+		t.Fatal("recovered server magically synchronized")
+	}
+	if !h.set(0).Contains("missed") {
+		t.Fatal("live server missing the add")
+	}
+}
+
+// TestManyKeysIndependentState spreads many keys with mixed schemes
+// over one cluster and verifies per-key isolation at the node level.
+func TestManyKeysIndependentState(t *testing.T) {
+	h := newHarness(t, 6, 68)
+	rng := stats.NewRNG(99)
+	schemes := []wire.Config{
+		{Scheme: wire.FullReplication},
+		{Scheme: wire.Fixed, X: 5},
+		{Scheme: wire.RandomServer, X: 5},
+		{Scheme: wire.RoundRobin, Y: 2},
+		{Scheme: wire.Hash, Y: 2, Seed: 1},
+	}
+	for k := 0; k < 40; k++ {
+		key := fmt.Sprintf("key-%02d", k)
+		cfg := schemes[k%len(schemes)]
+		h2 := rng.IntN(20) + 5
+		es := make([]string, h2)
+		for i := range es {
+			es[i] = fmt.Sprintf("%s/e%d", key, i)
+		}
+		if cfg.Scheme == wire.RoundRobin {
+			h.mustAck(0, wire.Place{Key: key, Config: cfg, Entries: es})
+		} else {
+			h.mustAck(rng.IntN(6), wire.Place{Key: key, Config: cfg, Entries: es})
+		}
+	}
+	// Every stored entry must belong to its own key's namespace.
+	for s := 0; s < 6; s++ {
+		for k := 0; k < 40; k++ {
+			key := fmt.Sprintf("key-%02d", k)
+			for _, v := range h.cl.Node(s).LocalSet(key).Members() {
+				if len(v) < len(key) || string(v[:len(key)]) != key {
+					t.Fatalf("key %s on server %d holds foreign entry %s", key, s, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package node_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// reply sends a message and returns whatever comes back, failing only
+// on transport errors.
+func (h *harness) reply(server int, msg wire.Message) wire.Message {
+	h.t.Helper()
+	return h.call(server, msg)
+}
+
+func TestPlaceRejectsInvalidConfig(t *testing.T) {
+	h := newHarness(t, 3, 70)
+	cases := []wire.Config{
+		{},                              // unset scheme
+		{Scheme: wire.Fixed},            // x missing
+		{Scheme: wire.RoundRobin},       // y missing
+		{Scheme: wire.RoundRobin, Y: 5}, // y > n
+		{Scheme: wire.Scheme(99), X: 1},
+	}
+	for _, cfg := range cases {
+		reply := h.reply(0, wire.Place{Key: "k", Config: cfg, Entries: []string{"v1"}})
+		if ack := reply.(wire.Ack); ack.Err == "" {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestAddRejectsEmptyEntry(t *testing.T) {
+	h := newHarness(t, 2, 71)
+	reply := h.reply(0, wire.Add{Key: "k", Config: wire.Config{Scheme: wire.FullReplication}})
+	if ack := reply.(wire.Ack); ack.Err == "" {
+		t.Fatal("empty add entry accepted")
+	}
+	reply = h.reply(0, wire.StoreOne{Key: "k", Config: wire.Config{Scheme: wire.FullReplication}})
+	if ack := reply.(wire.Ack); ack.Err == "" {
+		t.Fatal("empty store entry accepted")
+	}
+}
+
+func TestMigrateWithoutPendingRemoval(t *testing.T) {
+	h := newHarness(t, 3, 72)
+	h.place(0, wire.Config{Scheme: wire.RoundRobin, Y: 2}, nil)
+	reply := h.reply(0, wire.Migrate{Key: "k", Entry: "ghost"})
+	mr := reply.(wire.MigrateReply)
+	if mr.Err == "" || !strings.Contains(mr.Err, "pending") {
+		t.Fatalf("spurious migrate reply = %+v", mr)
+	}
+	reply = h.reply(0, wire.Migrate{Key: "unknown", Entry: "x"})
+	if mr := reply.(wire.MigrateReply); mr.Err == "" {
+		t.Fatal("migrate for unknown key accepted")
+	}
+}
+
+func TestRoundRemoveUnknownKeyIgnored(t *testing.T) {
+	h := newHarness(t, 3, 73)
+	reply := h.reply(1, wire.RoundRemove{Key: "nope", Entry: "v", HeadServer: 0})
+	if ack := reply.(wire.Ack); ack.Err != "" {
+		t.Fatalf("RoundRemove on unknown key errored: %s", ack.Err)
+	}
+	reply = h.reply(1, wire.RemoveAt{Key: "nope", Entry: "v", Pos: 3})
+	if ack := reply.(wire.Ack); ack.Err != "" {
+		t.Fatalf("RemoveAt on unknown key errored: %s", ack.Err)
+	}
+}
+
+func TestNodeWithoutPeersFailsCleanly(t *testing.T) {
+	nd := node.New(0, stats.NewRNG(1))
+	reply := nd.Handle(context.Background(), wire.Add{
+		Key: "k", Config: wire.Config{Scheme: wire.FullReplication}, Entry: "v",
+	})
+	ack, ok := reply.(wire.Ack)
+	if !ok || ack.Err == "" {
+		t.Fatalf("detached node add reply = %#v, want error ack", reply)
+	}
+	if nd.ID() != 0 {
+		t.Fatal("ID wrong")
+	}
+}
+
+func TestCountersUnknownKey(t *testing.T) {
+	h := newHarness(t, 2, 74)
+	if head, tail := h.cl.Node(0).Counters("missing"); head != 0 || tail != 0 {
+		t.Fatal("unknown key counters nonzero")
+	}
+	if h.cl.Node(0).SystemCount("missing") != 0 {
+		t.Fatal("unknown key system count nonzero")
+	}
+}

@@ -1,0 +1,62 @@
+package node_test
+
+import (
+	"testing"
+
+	"repro/internal/entry"
+	"repro/internal/wire"
+)
+
+// TestRandomServerActiveReplacement exercises the Sec. 5.3 alternative
+// delete handling: a server that loses a local copy refills its subset
+// from a peer, so per-server sizes stay at x (no cushion erosion).
+func TestRandomServerActiveReplacement(t *testing.T) {
+	h := newHarness(t, 5, 40)
+	cfg := wire.Config{Scheme: wire.RandomServer, X: 10, RSReplace: true}
+	h.place(0, cfg, entry.Synthetic(50))
+	for s := 0; s < 5; s++ {
+		if h.set(s).Len() != 10 {
+			t.Fatalf("server %d starts with %d entries", s, h.set(s).Len())
+		}
+	}
+	// Delete entries until some servers must have lost copies.
+	for i := 1; i <= 15; i++ {
+		h.mustAck(1, wire.Delete{Key: "k", Config: cfg, Entry: string(entry.Synthetic(50)[i-1])})
+	}
+	// 35 live entries remain; with replacement every server should be
+	// back at (or very near) x — without it, expected size is ~7.
+	for s := 0; s < 5; s++ {
+		set := h.set(s)
+		if set.Len() < 9 {
+			t.Fatalf("server %d has %d entries after deletes; replacement did not refill", s, set.Len())
+		}
+		// No deleted entry may have been reintroduced.
+		for i := 0; i < 15; i++ {
+			if set.Contains(entry.Synthetic(50)[i]) {
+				t.Fatalf("server %d holds deleted entry %s", s, entry.Synthetic(50)[i])
+			}
+		}
+	}
+}
+
+// TestRandomServerCushionDoesNotRefill pins the default (cushion)
+// behavior: deleted copies are not replaced until future adds.
+func TestRandomServerCushionDoesNotRefill(t *testing.T) {
+	h := newHarness(t, 5, 41)
+	cfg := wire.Config{Scheme: wire.RandomServer, X: 10}
+	h.place(0, cfg, entry.Synthetic(50))
+	before := 0
+	for s := 0; s < 5; s++ {
+		before += h.set(s).Len()
+	}
+	for i := 0; i < 15; i++ {
+		h.mustAck(1, wire.Delete{Key: "k", Config: cfg, Entry: string(entry.Synthetic(50)[i])})
+	}
+	after := 0
+	for s := 0; s < 5; s++ {
+		after += h.set(s).Len()
+	}
+	if after >= before {
+		t.Fatalf("cushion variant did not shrink: %d -> %d", before, after)
+	}
+}

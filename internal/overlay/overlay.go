@@ -1,0 +1,224 @@
+// Package overlay implements the Sec. 7.2 variation: servers with
+// limited reachability. Participants form an application-level overlay
+// network (as in Gnutella-style systems); a client can only reach
+// lookup servers within a bounded hop count d.
+//
+// The package provides the overlay graph substrate (deterministic
+// generators, BFS hop distances), the placement problem the paper
+// states — "making sure the data is placed on a set of servers such
+// that for each client i there exists a server s where the distance
+// between i and s is bounded by a hop count d" — solved with a greedy
+// dominating-set heuristic, and a transport wrapper that enforces the
+// hop limit so the ordinary strategy drivers run unmodified under
+// restricted reachability.
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Graph is an undirected overlay over participants 0..M-1.
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph returns an edgeless graph over m participants.
+func NewGraph(m int) *Graph {
+	if m <= 0 {
+		panic("overlay: NewGraph requires m > 0")
+	}
+	return &Graph{adj: make([][]int, m)}
+}
+
+// Size returns the number of participants.
+func (g *Graph) Size() int { return len(g.adj) }
+
+// AddEdge links a and b (idempotent; self-loops ignored).
+func (g *Graph) AddEdge(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= len(g.adj) || b >= len(g.adj) {
+		return
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Neighbors returns the adjacency list of a participant.
+func (g *Graph) Neighbors(p int) []int {
+	out := make([]int, len(g.adj[p]))
+	copy(out, g.adj[p])
+	return out
+}
+
+// NewRing builds a connected ring of m participants with `shortcuts`
+// additional random chords — a small-world-style overlay. It is
+// deterministic given the RNG.
+func NewRing(m, shortcuts int, rng *stats.RNG) *Graph {
+	g := NewGraph(m)
+	for i := 0; i < m; i++ {
+		g.AddEdge(i, (i+1)%m)
+	}
+	for s := 0; s < shortcuts; s++ {
+		g.AddEdge(rng.IntN(m), rng.IntN(m))
+	}
+	return g
+}
+
+// NewRandom builds a connected random overlay: a random spanning tree
+// (guaranteeing connectivity) plus extra random edges with probability
+// p per pair, approximated by m·p·(m-1)/2 … bounded extra edges.
+func NewRandom(m int, extraEdges int, rng *stats.RNG) *Graph {
+	g := NewGraph(m)
+	// Random spanning tree: connect each node to a random earlier one.
+	perm := rng.Perm(m)
+	for i := 1; i < m; i++ {
+		g.AddEdge(perm[i], perm[rng.IntN(i)])
+	}
+	for e := 0; e < extraEdges; e++ {
+		g.AddEdge(rng.IntN(m), rng.IntN(m))
+	}
+	return g
+}
+
+// Hops returns the BFS hop distance from `from` to every participant
+// (-1 if unreachable).
+func (g *Graph) Hops(from int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.adj[cur] {
+			if dist[next] == -1 {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return dist
+}
+
+// WithinHops returns the participants within d hops of `from`
+// (including `from` itself).
+func (g *Graph) WithinHops(from, d int) []int {
+	dist := g.Hops(from)
+	var out []int
+	for p, h := range dist {
+		if h >= 0 && h <= d {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Covered reports, for every participant, whether some server in
+// `servers` lies within d hops.
+func (g *Graph) Covered(servers []int, d int) []bool {
+	out := make([]bool, len(g.adj))
+	for _, s := range servers {
+		if s < 0 || s >= len(g.adj) {
+			continue
+		}
+		for _, p := range g.WithinHops(s, d) {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Uncovered returns the participants with no server within d hops.
+func (g *Graph) Uncovered(servers []int, d int) []int {
+	covered := g.Covered(servers, d)
+	var out []int
+	for p, ok := range covered {
+		if !ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// GreedyPlacement solves the Sec. 7.2 placement problem heuristically:
+// choose a small set of participants to host lookup servers such that
+// every participant has a server within d hops. This is minimum
+// dominating set (NP-hard), so it greedily picks the participant
+// covering the most still-uncovered participants. The result is
+// deterministic.
+func GreedyPlacement(g *Graph, d int) []int {
+	m := g.Size()
+	if d < 0 {
+		d = 0
+	}
+	covered := make([]bool, m)
+	remaining := m
+	// Precompute the d-ball of every participant.
+	balls := make([][]int, m)
+	for p := 0; p < m; p++ {
+		balls[p] = g.WithinHops(p, d)
+	}
+	var servers []int
+	for remaining > 0 {
+		best, bestGain := -1, -1
+		for p := 0; p < m; p++ {
+			gain := 0
+			for _, q := range balls[p] {
+				if !covered[q] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = p, gain
+			}
+		}
+		if bestGain <= 0 {
+			break // disconnected leftovers (cannot happen on connected graphs)
+		}
+		servers = append(servers, best)
+		for _, q := range balls[best] {
+			if !covered[q] {
+				covered[q] = true
+				remaining--
+			}
+		}
+	}
+	return servers
+}
+
+// MeanServerDistance returns the average hop distance from each
+// participant to its nearest server — the client-side lookup latency
+// proxy in the Sec. 7.2 tradeoff.
+func MeanServerDistance(g *Graph, servers []int) (float64, error) {
+	if len(servers) == 0 {
+		return 0, fmt.Errorf("overlay: no servers")
+	}
+	m := g.Size()
+	best := make([]int, m)
+	for i := range best {
+		best[i] = -1
+	}
+	for _, s := range servers {
+		for p, h := range g.Hops(s) {
+			if h >= 0 && (best[p] == -1 || h < best[p]) {
+				best[p] = h
+			}
+		}
+	}
+	sum := 0
+	for p, h := range best {
+		if h < 0 {
+			return 0, fmt.Errorf("overlay: participant %d cannot reach any server", p)
+		}
+		sum += h
+	}
+	return float64(sum) / float64(m), nil
+}

@@ -1,0 +1,73 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// RestrictedCaller enforces a client's hop-limited view of the
+// cluster: calls to servers beyond the hop limit fail with
+// transport.ErrServerDown, so the unmodified strategy drivers fall
+// over to reachable servers exactly as they do under real failures.
+type RestrictedCaller struct {
+	inner     transport.Caller
+	reachable []bool
+}
+
+var _ transport.Caller = (*RestrictedCaller)(nil)
+
+// Restrict builds the hop-limited view of a client at overlay
+// participant `client`. serverNodes[i] is the overlay participant
+// hosting lookup server i of the inner caller.
+func Restrict(inner transport.Caller, g *Graph, client int, serverNodes []int, d int) (*RestrictedCaller, error) {
+	if len(serverNodes) != inner.NumServers() {
+		return nil, fmt.Errorf("overlay: %d server nodes for %d servers", len(serverNodes), inner.NumServers())
+	}
+	if client < 0 || client >= g.Size() {
+		return nil, fmt.Errorf("overlay: client %d outside graph of %d participants", client, g.Size())
+	}
+	dist := g.Hops(client)
+	reachable := make([]bool, len(serverNodes))
+	for i, p := range serverNodes {
+		if p < 0 || p >= g.Size() {
+			return nil, fmt.Errorf("overlay: server %d hosted at invalid participant %d", i, p)
+		}
+		reachable[i] = dist[p] >= 0 && dist[p] <= d
+	}
+	return &RestrictedCaller{inner: inner, reachable: reachable}, nil
+}
+
+// NumServers returns the underlying cluster size (unreachable servers
+// still exist; they just cannot be contacted).
+func (r *RestrictedCaller) NumServers() int { return r.inner.NumServers() }
+
+// Reachable reports whether the client can contact server i.
+func (r *RestrictedCaller) Reachable(i int) bool {
+	return i >= 0 && i < len(r.reachable) && r.reachable[i]
+}
+
+// ReachableCount returns how many servers the client can contact.
+func (r *RestrictedCaller) ReachableCount() int {
+	c := 0
+	for _, ok := range r.reachable {
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// Call forwards to the inner transport if the server is within the
+// client's hop limit.
+func (r *RestrictedCaller) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	if server < 0 || server >= len(r.reachable) {
+		return nil, fmt.Errorf("overlay: server %d out of range", server)
+	}
+	if !r.reachable[server] {
+		return nil, fmt.Errorf("%w: server %d beyond hop limit", transport.ErrServerDown, server)
+	}
+	return r.inner.Call(ctx, server, msg)
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LifetimeDist generates entry lifetimes for the dynamic-update study
+// (Sec. 6.1 of the paper). Both paper distributions are provided:
+// exponential (not tail-heavy) and Zipf-like (tail-heavy).
+type LifetimeDist interface {
+	// Sample draws one lifetime in simulated time units.
+	Sample(r *RNG) float64
+	// Mean returns the distribution's expectation.
+	Mean() float64
+	// Name returns the label the paper's figures use ("exp", "zipf").
+	Name() string
+}
+
+// Exponential is the exponential lifetime distribution with the given
+// mean: P(t) = (1/mean)·e^(-t/mean) for t >= 0.
+type Exponential struct {
+	mean float64
+}
+
+// NewExponential returns an exponential distribution with the given mean.
+// It panics if mean <= 0 (a configuration bug).
+func NewExponential(mean float64) Exponential {
+	if mean <= 0 {
+		panic("stats: NewExponential requires mean > 0")
+	}
+	return Exponential{mean: mean}
+}
+
+// Sample draws an exponential lifetime.
+func (d Exponential) Sample(r *RNG) float64 { return d.mean * r.ExpFloat64() }
+
+// Mean returns the distribution mean.
+func (d Exponential) Mean() float64 { return d.mean }
+
+// Name returns "exp".
+func (d Exponential) Name() string { return "exp" }
+
+// ZipfLifetime is the paper's Zipf-like lifetime distribution:
+// density P(t) = 1/(t·ln C) for t in [1, C]. Its mean is
+// (C-1)/ln C. The paper scales C so the mean matches the steady-state
+// target; use NewZipfLifetimeWithMean for that.
+type ZipfLifetime struct {
+	c float64
+}
+
+// NewZipfLifetime returns a Zipf-like distribution over [1, C].
+// It panics if c <= 1.
+func NewZipfLifetime(c float64) ZipfLifetime {
+	if c <= 1 {
+		panic("stats: NewZipfLifetime requires C > 1")
+	}
+	return ZipfLifetime{c: c}
+}
+
+// NewZipfLifetimeWithMean returns a Zipf-like distribution whose mean is
+// (approximately) the given value, solving (C-1)/ln C = mean for C by
+// bisection. It panics if mean <= 1.
+func NewZipfLifetimeWithMean(mean float64) ZipfLifetime {
+	if mean <= 1 {
+		panic("stats: NewZipfLifetimeWithMean requires mean > 1")
+	}
+	lo, hi := 1.0+1e-9, 10.0
+	f := func(c float64) float64 { return (c - 1) / math.Log(c) }
+	for f(hi) < mean {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < mean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return ZipfLifetime{c: (lo + hi) / 2}
+}
+
+// Sample draws a lifetime by inverse transform: the CDF is
+// F(t) = ln t / ln C, so t = C^u for uniform u.
+func (d ZipfLifetime) Sample(r *RNG) float64 {
+	return math.Pow(d.c, r.Float64())
+}
+
+// Mean returns the distribution mean (C-1)/ln C.
+func (d ZipfLifetime) Mean() float64 { return (d.c - 1) / math.Log(d.c) }
+
+// C returns the upper bound of the support.
+func (d ZipfLifetime) C() float64 { return d.c }
+
+// Name returns "zipf".
+func (d ZipfLifetime) Name() string { return "zipf" }
+
+// PoissonProcess generates the inter-arrival times of a Poisson process
+// with the given mean inter-arrival time (the paper uses mean 10 time
+// units per add event).
+type PoissonProcess struct {
+	meanGap float64
+}
+
+// NewPoissonProcess returns a process with the given mean inter-arrival
+// gap. It panics if meanGap <= 0.
+func NewPoissonProcess(meanGap float64) PoissonProcess {
+	if meanGap <= 0 {
+		panic("stats: NewPoissonProcess requires meanGap > 0")
+	}
+	return PoissonProcess{meanGap: meanGap}
+}
+
+// NextGap draws the time until the next arrival.
+func (p PoissonProcess) NextGap(r *RNG) float64 { return p.meanGap * r.ExpFloat64() }
+
+// MeanGap returns the configured mean inter-arrival time.
+func (p PoissonProcess) MeanGap() float64 { return p.meanGap }
+
+// Zipf draws ranks 1..n with probability proportional to 1/rank^s. It is
+// used by the example workloads to skew key popularity (hot songs), not
+// by the paper's own experiments. Sampling is by precomputed CDF and
+// binary search.
+type Zipf struct {
+	cdf []float64
+	s   float64
+}
+
+// NewZipf returns a Zipf distribution over ranks 1..n with exponent s.
+// It panics unless n >= 1 and s >= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 || s < 0 {
+		panic("stats: NewZipf requires n >= 1 and s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, s: s}
+}
+
+// Sample draws a rank in [1, n].
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// String describes the distribution for logs.
+func (z *Zipf) String() string {
+	return fmt.Sprintf("zipf(n=%d, s=%.2f)", len(z.cdf), z.s)
+}

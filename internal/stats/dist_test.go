@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleMean(t *testing.T, f func() float64, n int) float64 {
+	t.Helper()
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += f()
+	}
+	return sum / float64(n)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(1)
+	d := NewExponential(1000)
+	if d.Mean() != 1000 {
+		t.Fatalf("Mean = %v, want 1000", d.Mean())
+	}
+	if d.Name() != "exp" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	got := sampleMean(t, func() float64 { return d.Sample(r) }, 50000)
+	if got < 950 || got > 1050 {
+		t.Fatalf("sample mean = %v, want ~1000", got)
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExponential(0) did not panic")
+		}
+	}()
+	NewExponential(0)
+}
+
+func TestZipfLifetimeSupportAndMean(t *testing.T) {
+	r := NewRNG(2)
+	d := NewZipfLifetimeWithMean(1000)
+	if m := d.Mean(); math.Abs(m-1000) > 1 {
+		t.Fatalf("Mean = %v, want ~1000", m)
+	}
+	if d.Name() != "zipf" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	// Samples must lie in [1, C]; empirical mean should approach 1000.
+	// The distribution is heavy-tailed, so allow a wide tolerance.
+	c := d.C()
+	sum := 0.0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		v := d.Sample(r)
+		if v < 1 || v > c {
+			t.Fatalf("sample %v outside [1, %v]", v, c)
+		}
+		sum += v
+	}
+	if got := sum / trials; got < 850 || got > 1150 {
+		t.Fatalf("zipf sample mean = %v, want ~1000", got)
+	}
+}
+
+func TestZipfLifetimeAnalyticMean(t *testing.T) {
+	// Mean of density 1/(t ln C) on [1, C] is (C-1)/ln C.
+	d := NewZipfLifetime(math.E)
+	if m := d.Mean(); math.Abs(m-(math.E-1)) > 1e-12 {
+		t.Fatalf("Mean = %v, want e-1", m)
+	}
+}
+
+func TestZipfLifetimeHeavierTailThanExp(t *testing.T) {
+	// With equal means, the zipf-like distribution has more mass in
+	// very short lifetimes AND in the extreme tail than the
+	// exponential (the paper chose it as the tail-heavy contrast).
+	r := NewRNG(3)
+	zipf := NewZipfLifetimeWithMean(1000)
+	exp := NewExponential(1000)
+	const trials = 100000
+	zipfShort, expShort := 0, 0
+	for i := 0; i < trials; i++ {
+		if zipf.Sample(r) < 10 {
+			zipfShort++
+		}
+		if exp.Sample(r) < 10 {
+			expShort++
+		}
+	}
+	if zipfShort <= expShort {
+		t.Fatalf("zipf short-lifetime count %d <= exp %d; want zipf heavier near zero", zipfShort, expShort)
+	}
+}
+
+func TestPoissonProcessMeanGap(t *testing.T) {
+	r := NewRNG(4)
+	p := NewPoissonProcess(10)
+	if p.MeanGap() != 10 {
+		t.Fatalf("MeanGap = %v", p.MeanGap())
+	}
+	got := sampleMean(t, func() float64 { return p.NextGap(r) }, 50000)
+	if got < 9.5 || got > 10.5 {
+		t.Fatalf("mean gap = %v, want ~10", got)
+	}
+}
+
+func TestZipfRankDistribution(t *testing.T) {
+	r := NewRNG(5)
+	z := NewZipf(10, 1.0)
+	const trials = 100000
+	counts := make([]int, 11)
+	for i := 0; i < trials; i++ {
+		rank := z.Sample(r)
+		if rank < 1 || rank > 10 {
+			t.Fatalf("rank %d out of [1,10]", rank)
+		}
+		counts[rank]++
+	}
+	// P(rank 1)/P(rank 2) should be ~2 with s=1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("rank1/rank2 ratio = %v, want ~2", ratio)
+	}
+	if counts[1] <= counts[10] {
+		t.Fatal("rank 1 not more popular than rank 10")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(6)
+	z := NewZipf(4, 0)
+	const trials = 40000
+	counts := make([]int, 5)
+	for i := 0; i < trials; i++ {
+		counts[z.Sample(r)]++
+	}
+	for rank := 1; rank <= 4; rank++ {
+		if counts[rank] < 9000 || counts[rank] > 11000 {
+			t.Fatalf("s=0 rank %d count %d, want ~10000", rank, counts[rank])
+		}
+	}
+}
+
+func TestZipfString(t *testing.T) {
+	if got := NewZipf(10, 1.5).String(); got != "zipf(n=10, s=1.50)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNewZipfLifetimeWithMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mean <= 1 did not panic")
+		}
+	}()
+	NewZipfLifetimeWithMean(1)
+}

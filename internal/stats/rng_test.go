@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs agreed on %d of 100 outputs", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 9 {
+		t.Fatalf("seed-0 RNG produced only %d distinct values in 10 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split RNGs agreed on %d of 100 outputs", same)
+	}
+}
+
+func TestIntNBoundsAndPanic(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.IntN(7); v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) = %d out of range", v)
+		}
+	}
+	if v := r.IntN(1); v != 0 {
+		t.Fatalf("IntN(1) = %d, want 0", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	r.IntN(0)
+}
+
+func TestIntNUniform(t *testing.T) {
+	r := NewRNG(5)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.IntN(n)]++
+	}
+	mean := float64(trials) / n
+	sigma := math.Sqrt(float64(trials) * (1.0 / n) * (1 - 1.0/n))
+	for i, c := range counts {
+		if d := math.Abs(float64(c) - mean); d > 5*sigma {
+			t.Errorf("bucket %d: count %d deviates %0.f > 5 sigma from %0.f", i, c, d, mean)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(4)
+	sum := 0.0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 = %v negative", v)
+		}
+		sum += v
+	}
+	if mean := sum / trials; mean < 0.97 || mean > 1.03 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(6)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := NewRNG(8)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	mean := float64(trials) / n
+	sigma := math.Sqrt(float64(trials) * 0.2 * 0.8)
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sigma {
+			t.Errorf("Perm first element %d count %d, want ~%0.f", i, c, mean)
+		}
+	}
+}
+
+func TestSampleInts(t *testing.T) {
+	r := NewRNG(9)
+	got := r.SampleInts(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("SampleInts(10,4) len = %d", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("SampleInts(10,4) = %v invalid", got)
+		}
+		seen[v] = true
+	}
+	if len(r.SampleInts(5, 5)) != 5 {
+		t.Fatal("SampleInts(5,5) wrong length")
+	}
+	if len(r.SampleInts(5, 0)) != 0 {
+		t.Fatal("SampleInts(5,0) not empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleInts(3,4) did not panic")
+		}
+	}()
+	r.SampleInts(3, 4)
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(10)
+	const trials = 50000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if p < 0.28 || p > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v", p)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1.1) {
+		t.Fatal("Bool(1.1) returned false")
+	}
+}
+
+func TestUint64NQuick(t *testing.T) {
+	r := NewRNG(11)
+	check := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64N(n) < n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	tests := []struct {
+		x, y   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, tc := range tests {
+		hi, lo := mul64(tc.x, tc.y)
+		if hi != tc.hi || lo != tc.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", tc.x, tc.y, hi, lo, tc.hi, tc.lo)
+		}
+	}
+}

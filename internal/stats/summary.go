@@ -1,0 +1,99 @@
+package stats
+
+import "math"
+
+// Summary accumulates a stream of float64 observations and reports
+// mean, variance, and confidence intervals using Welford's online
+// algorithm (numerically stable, single pass). The zero value is ready
+// for use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one observation.
+func (s *Summary) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0
+// with fewer than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval around the mean. The paper reports intervals below 0.1% of the
+// mean at its fidelity; we expose the interval so harness output can
+// state the achieved precision.
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// CoV computes the coefficient of variation of values around the ideal
+// reference value: sqrt(mean((v-ideal)^2)) / ideal. With ideal = t/h and
+// values = per-entry return probabilities this is exactly the paper's
+// unfairness metric U_I (Eq. 1, Sec. 4.5).
+func CoV(values []float64, ideal float64) float64 {
+	if len(values) == 0 || ideal == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		d := v - ideal
+		sum += d * d
+	}
+	return math.Sqrt(sum/float64(len(values))) / ideal
+}
+
+// Mean returns the arithmetic mean of values, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

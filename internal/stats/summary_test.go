@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryKnownValues(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if got, want := s.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryZeroValue(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("zero-value summary not all-zero")
+	}
+	s.Observe(3)
+	if s.Variance() != 0 {
+		t.Fatal("single observation variance nonzero")
+	}
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single observation stats wrong")
+	}
+}
+
+func TestSummaryCI95Shrinks(t *testing.T) {
+	r := NewRNG(1)
+	var small, large Summary
+	for i := 0; i < 100; i++ {
+		small.Observe(r.Float64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Observe(r.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+// TestSummaryQuickMatchesTwoPass property-tests Welford against the
+// naive two-pass mean/variance.
+func TestSummaryQuickMatchesTwoPass(t *testing.T) {
+	check := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Summary
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+			s.Observe(vals[i])
+		}
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		varSum := 0.0
+		for _, v := range vals {
+			varSum += (v - mean) * (v - mean)
+		}
+		variance := varSum / float64(len(vals)-1)
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.Variance()-variance) < 1e-4
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	// Paper example (Sec. 4.5): managing 2 entries with Fixed-1 and
+	// t=1 returns entry 1 always: probabilities (1, 0), ideal 1/2,
+	// unfairness exactly 1.
+	if got := CoV([]float64{1, 0}, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CoV Fixed-1 example = %v, want 1", got)
+	}
+	// A perfectly fair assignment has zero unfairness.
+	if got := CoV([]float64{0.5, 0.5}, 0.5); got != 0 {
+		t.Fatalf("CoV fair = %v, want 0", got)
+	}
+	// Degenerate inputs.
+	if CoV(nil, 0.5) != 0 || CoV([]float64{1}, 0) != 0 {
+		t.Fatal("degenerate CoV not 0")
+	}
+}
+
+func TestCoVFixedXFormula(t *testing.T) {
+	// Sec. 6.3: Fixed-20 on 100 entries with t=1 has unfairness
+	// exactly 2: p = 1/20 for 20 entries, 0 for 80, ideal 1/100.
+	probs := make([]float64, 100)
+	for i := 0; i < 20; i++ {
+		probs[i] = 1.0 / 20
+	}
+	if got := CoV(probs, 1.0/100); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Fixed-20 t=1 unfairness = %v, want 2", got)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}

@@ -1,0 +1,144 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// ConfigForBudget derives the scheme parameter from a total storage
+// budget, the way the paper's experiments equalize overhead across
+// strategies (Sec. 4.2: "From the limit of 200 entries, we compute
+// parameters x and y using the storage cost formula in Table 1"):
+//
+//   - Fixed-x / RandomServer-x: storage = x·n  ⇒  x = budget/n
+//   - Round-y / Hash-y:        storage ≈ h·y  ⇒  y = budget/h
+//   - Full replication ignores the budget (storage is h·n by
+//     definition).
+//
+// With h=100, n=10, budget=200 this yields exactly the paper's
+// Fixed-20, RandomServer-20, Round-2, and Hash-2.
+func ConfigForBudget(scheme wire.Scheme, budget, h, n int) (wire.Config, error) {
+	if h <= 0 || n <= 0 {
+		return wire.Config{}, fmt.Errorf("strategy: budget derivation requires h > 0 and n > 0")
+	}
+	cfg := wire.Config{Scheme: scheme}
+	switch scheme {
+	case wire.FullReplication:
+		return cfg, nil
+	case wire.Fixed, wire.RandomServer:
+		x := budget / n
+		if x < 1 {
+			return cfg, fmt.Errorf("strategy: budget %d too small for %v on %d servers", budget, scheme, n)
+		}
+		cfg.X = x
+	case wire.RoundRobin, wire.Hash:
+		y := budget / h
+		if y < 1 {
+			return cfg, fmt.Errorf("strategy: budget %d too small for %v with %d entries", budget, scheme, h)
+		}
+		if scheme == wire.RoundRobin && y > n {
+			y = n
+		}
+		cfg.Y = y
+	default:
+		return cfg, fmt.Errorf("strategy: unknown scheme %v", scheme)
+	}
+	return cfg, nil
+}
+
+// OptimalHashY returns the smallest y for Hash-y such that the expected
+// number of entries per server (h·y/n) is at least the target answer
+// size t, i.e. y = ceil(t·n/h) — the policy the Fig. 14 experiment uses
+// so that the lookup cost stays close to 1 (Sec. 6.4).
+func OptimalHashY(t, h, n int) int {
+	if t <= 0 || h <= 0 || n <= 0 {
+		return 1
+	}
+	y := (t*n + h - 1) / h
+	if y < 1 {
+		y = 1
+	}
+	return y
+}
+
+// CushionedFixedX returns the Fixed-x parameter x = t + b for target
+// answer size t and cushion b (Sec. 5.2: "to support a client target
+// answer size t, pick parameter x as t + b where b is a cushion for
+// having deletes without new adds").
+func CushionedFixedX(t, b int) int { return t + b }
+
+// ExpectedStorage evaluates the Table 1 storage-cost formula for a
+// configuration managing h entries on n servers. Hash-y's expectation
+// accounts for hash collisions: h·n·(1-(1-1/n)^y).
+func ExpectedStorage(cfg wire.Config, h, n int) float64 {
+	switch cfg.Scheme {
+	case wire.FullReplication:
+		return float64(h * n)
+	case wire.Fixed, wire.RandomServer:
+		x := cfg.X
+		if x > h {
+			x = h
+		}
+		return float64(x * n)
+	case wire.RoundRobin:
+		y := cfg.Y
+		if y > n {
+			y = n
+		}
+		return float64(h * y)
+	case wire.Hash:
+		p := 1 - math.Pow(1-1/float64(n), float64(cfg.Y))
+		return float64(h) * float64(n) * p
+	default:
+		return 0
+	}
+}
+
+// ExpectedCoverage evaluates the analytic maximum-coverage values of
+// Sec. 4.3 for a configuration managing h entries on n servers:
+// complete for full replication, Round-y and Hash-y (given storage for
+// every entry), x for Fixed-x, and h·(1-(1-x/h)^n) for RandomServer-x.
+func ExpectedCoverage(cfg wire.Config, h, n int) float64 {
+	switch cfg.Scheme {
+	case wire.FullReplication, wire.RoundRobin, wire.Hash:
+		return float64(h)
+	case wire.Fixed:
+		if cfg.X > h {
+			return float64(h)
+		}
+		return float64(cfg.X)
+	case wire.RandomServer:
+		x := cfg.X
+		if x >= h {
+			return float64(h)
+		}
+		miss := math.Pow(1-float64(x)/float64(h), float64(n))
+		return float64(h) * (1 - miss)
+	default:
+		return 0
+	}
+}
+
+// RoundLookupCost returns the analytic Round-y lookup cost ceil(t·n/(y·h))
+// of Sec. 4.2.
+func RoundLookupCost(t, h, n, y int) int {
+	if y*h <= 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(t*n) / float64(y*h)))
+}
+
+// RoundFaultTolerance returns the analytic Round-y worst-case fault
+// tolerance n - ceil(t·n/h) + y - 1 of Sec. 4.4, clamped to [0, n-1].
+func RoundFaultTolerance(t, h, n, y int) int {
+	ft := n - int(math.Ceil(float64(t*n)/float64(h))) + y - 1
+	if ft < 0 {
+		ft = 0
+	}
+	if ft > n-1 {
+		ft = n - 1
+	}
+	return ft
+}

@@ -1,0 +1,158 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestConfigForBudgetCanonical(t *testing.T) {
+	// The paper's canonical derivation: budget 200, h=100, n=10 gives
+	// Fixed-20, RandomServer-20, Round-2, Hash-2 (Sec. 4.2).
+	tests := []struct {
+		scheme wire.Scheme
+		want   wire.Config
+	}{
+		{wire.Fixed, wire.Config{Scheme: wire.Fixed, X: 20}},
+		{wire.RandomServer, wire.Config{Scheme: wire.RandomServer, X: 20}},
+		{wire.RoundRobin, wire.Config{Scheme: wire.RoundRobin, Y: 2}},
+		{wire.Hash, wire.Config{Scheme: wire.Hash, Y: 2}},
+		{wire.FullReplication, wire.Config{Scheme: wire.FullReplication}},
+	}
+	for _, tc := range tests {
+		got, err := ConfigForBudget(tc.scheme, 200, 100, 10)
+		if err != nil {
+			t.Fatalf("ConfigForBudget(%v): %v", tc.scheme, err)
+		}
+		if got != tc.want {
+			t.Errorf("ConfigForBudget(%v) = %+v, want %+v", tc.scheme, got, tc.want)
+		}
+	}
+}
+
+func TestConfigForBudgetErrors(t *testing.T) {
+	if _, err := ConfigForBudget(wire.Fixed, 5, 100, 10); err == nil {
+		t.Fatal("budget below one-entry-per-server accepted")
+	}
+	if _, err := ConfigForBudget(wire.RoundRobin, 50, 100, 10); err == nil {
+		t.Fatal("budget below h accepted for Round")
+	}
+	if _, err := ConfigForBudget(wire.Fixed, 200, 0, 10); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if _, err := ConfigForBudget(wire.Scheme(9), 200, 100, 10); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestConfigForBudgetRoundCappedAtN(t *testing.T) {
+	cfg, err := ConfigForBudget(wire.RoundRobin, 5000, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Y != 10 {
+		t.Fatalf("Round y = %d, want capped at n=10", cfg.Y)
+	}
+}
+
+func TestOptimalHashY(t *testing.T) {
+	// Sec. 6.4 (t=40, n=10): y=1 at h=400, y=2 for h in (200,400],
+	// y=3 for h in (133,200], y=4 for h in [100,133].
+	tests := []struct {
+		h    int
+		want int
+	}{
+		{400, 1}, {399, 2}, {201, 2}, {200, 2}, {199, 3}, {134, 3}, {133, 4}, {100, 4},
+	}
+	for _, tc := range tests {
+		if got := OptimalHashY(40, tc.h, 10); got != tc.want {
+			t.Errorf("OptimalHashY(40, %d, 10) = %d, want %d", tc.h, got, tc.want)
+		}
+	}
+	if OptimalHashY(0, 100, 10) != 1 {
+		t.Error("degenerate OptimalHashY != 1")
+	}
+}
+
+func TestCushionedFixedX(t *testing.T) {
+	if got := CushionedFixedX(15, 3); got != 18 {
+		t.Fatalf("CushionedFixedX = %d, want 18", got)
+	}
+}
+
+func TestExpectedStorageTable1(t *testing.T) {
+	// Table 1 with h=100, n=10.
+	tests := []struct {
+		cfg  wire.Config
+		want float64
+	}{
+		{wire.Config{Scheme: wire.FullReplication}, 1000},
+		{wire.Config{Scheme: wire.Fixed, X: 20}, 200},
+		{wire.Config{Scheme: wire.RandomServer, X: 20}, 200},
+		{wire.Config{Scheme: wire.RoundRobin, Y: 2}, 200},
+		{wire.Config{Scheme: wire.Hash, Y: 2}, 1000 * (1 - 0.9*0.9)}, // 190
+		{wire.Config{Scheme: wire.Fixed, X: 150}, 1000},              // x capped at h
+		{wire.Config{Scheme: wire.RoundRobin, Y: 15}, 1000},          // y capped at n
+	}
+	for _, tc := range tests {
+		if got := ExpectedStorage(tc.cfg, 100, 10); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("ExpectedStorage(%v) = %v, want %v", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+func TestExpectedCoverage(t *testing.T) {
+	// Sec. 4.3: RandomServer-20 over 100 entries, 10 servers covers
+	// about 89 entries.
+	got := ExpectedCoverage(wire.Config{Scheme: wire.RandomServer, X: 20}, 100, 10)
+	if got < 89 || got > 89.5 {
+		t.Fatalf("RandomServer-20 coverage = %v, want ~89.3", got)
+	}
+	if got := ExpectedCoverage(wire.Config{Scheme: wire.Fixed, X: 20}, 100, 10); got != 20 {
+		t.Fatalf("Fixed coverage = %v, want 20", got)
+	}
+	for _, cfg := range []wire.Config{
+		{Scheme: wire.FullReplication},
+		{Scheme: wire.RoundRobin, Y: 1},
+		{Scheme: wire.Hash, Y: 1},
+		{Scheme: wire.RandomServer, X: 100},
+		{Scheme: wire.Fixed, X: 300},
+	} {
+		if got := ExpectedCoverage(cfg, 100, 10); got != 100 {
+			t.Errorf("%v coverage = %v, want complete", cfg, got)
+		}
+	}
+}
+
+func TestRoundLookupCost(t *testing.T) {
+	// Sec. 4.2: each Round-y server stores yh/n entries; the client
+	// contacts ceil(tn/yh) servers.
+	tests := []struct {
+		t, want int
+	}{
+		{10, 1}, {20, 1}, {25, 2}, {40, 2}, {45, 3}, {60, 3},
+	}
+	for _, tc := range tests {
+		if got := RoundLookupCost(tc.t, 100, 10, 2); got != tc.want {
+			t.Errorf("RoundLookupCost(t=%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestRoundFaultTolerance(t *testing.T) {
+	// Sec. 4.4: n - ceil(tn/h) + y - 1, clamped to [0, n-1]. Fig. 7:
+	// increasing t by 10 reduces tolerance by 1 for Round-2.
+	if got := RoundFaultTolerance(20, 100, 10, 2); got != 9 {
+		t.Fatalf("RoundFaultTolerance(20) = %d, want 9", got)
+	}
+	if got := RoundFaultTolerance(30, 100, 10, 2); got != 8 {
+		t.Fatalf("RoundFaultTolerance(30) = %d, want 8", got)
+	}
+	if got := RoundFaultTolerance(100, 100, 10, 1); got != 0 {
+		t.Fatalf("RoundFaultTolerance(100, y=1) = %d, want 0", got)
+	}
+	if got := RoundFaultTolerance(1, 100, 10, 2); got != 9 {
+		t.Fatalf("RoundFaultTolerance(1) = %d, want clamp 9", got)
+	}
+}

@@ -1,0 +1,94 @@
+package strategy_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/entry"
+	"repro/internal/node"
+	"repro/internal/strategy"
+	"repro/internal/wire"
+)
+
+// TestKeyPartitionPlacement: the traditional hashing baseline stores a
+// key's complete entry set on exactly the server the key hashes to.
+func TestKeyPartitionPlacement(t *testing.T) {
+	cl, drv := newPlaced(t, wire.Config{Scheme: wire.KeyPartition}, 30, 6, 30)
+	owner := node.PartitionServer("k", 6)
+	for s := 0; s < 6; s++ {
+		want := 0
+		if s == owner {
+			want = 30
+		}
+		if got := cl.Node(s).LocalSet("k").Len(); got != want {
+			t.Fatalf("server %d holds %d entries, want %d", s, got, want)
+		}
+	}
+	res, err := drv.PartialLookup(context.Background(), cl.Caller(), "k", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied(10) || res.Contacted != 1 {
+		t.Fatalf("lookup: %d entries from %d servers", len(res.Entries), res.Contacted)
+	}
+}
+
+// TestKeyPartitionNoFailover pins the baseline's weakness the paper
+// motivates against: when the responsible server fails, the key is
+// gone — no other server can answer ("even if S2 is down, partial
+// lookups can continue"; this one cannot).
+func TestKeyPartitionNoFailover(t *testing.T) {
+	cl, drv := newPlaced(t, wire.Config{Scheme: wire.KeyPartition}, 30, 6, 31)
+	cl.Fail(node.PartitionServer("k", 6))
+	_, err := drv.PartialLookup(context.Background(), cl.Caller(), "k", 5)
+	if !errors.Is(err, strategy.ErrNoLiveServers) {
+		t.Fatalf("lookup with owner down = %v, want ErrNoLiveServers", err)
+	}
+	if err := drv.Add(context.Background(), cl.Caller(), "k", "x"); err == nil {
+		t.Fatal("add with owner down succeeded")
+	}
+	// Other keys on other servers keep working.
+	if err := drv.Place(context.Background(), cl.Caller(), "other", entry.Synthetic(5)); err != nil {
+		owner := node.PartitionServer("other", 6)
+		if owner != node.PartitionServer("k", 6) {
+			t.Fatalf("unrelated key failed: %v", err)
+		}
+	}
+}
+
+// TestKeyPartitionUpdates: adds and deletes route to the owner.
+func TestKeyPartitionUpdates(t *testing.T) {
+	cl, drv := newPlaced(t, wire.Config{Scheme: wire.KeyPartition}, 10, 5, 32)
+	ctx := context.Background()
+	if err := drv.Add(ctx, cl.Caller(), "k", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Delete(ctx, cl.Caller(), "k", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	owner := node.PartitionServer("k", 5)
+	set := cl.Node(owner).LocalSet("k")
+	if !set.Contains("fresh") || set.Contains("v3") {
+		t.Fatalf("owner set after updates: %s", set)
+	}
+}
+
+// TestPartitionServerDeterministicSpread: the key hash is stable and
+// spreads keys across servers.
+func TestPartitionServerDeterministicSpread(t *testing.T) {
+	counts := make([]int, 10)
+	for i := 0; i < 1000; i++ {
+		key := entry.Synthetic(1000)[i]
+		s := node.PartitionServer(string(key), 10)
+		if s != node.PartitionServer(string(key), 10) {
+			t.Fatal("PartitionServer not deterministic")
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < 50 || c > 200 {
+			t.Fatalf("server %d owns %d of 1000 keys; hash badly skewed", s, c)
+		}
+	}
+}

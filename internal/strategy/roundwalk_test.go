@@ -1,0 +1,93 @@
+package strategy_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/entry"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/wire"
+)
+
+// TestRoundWalkFallsBackOnFailure: when the deterministic s, s+y, ...
+// sequence hits a failed server, the client switches to random probing
+// over the untried servers (Sec. 3.4) and still satisfies the lookup.
+func TestRoundWalkFallsBackOnFailure(t *testing.T) {
+	// 10 servers, 100 entries, Round-2: t=50 needs >= 3 servers.
+	cl, drv := newPlaced(t, wire.Config{Scheme: wire.RoundRobin, Y: 2}, 100, 10, 21)
+	// Fail three servers; whatever start the walk picks, some walks
+	// will hit a failed hop and must recover via random fallback.
+	cl.Fail(1)
+	cl.Fail(5)
+	cl.Fail(9)
+	for i := 0; i < 100; i++ {
+		res, err := drv.PartialLookup(context.Background(), cl.Caller(), "k", 50)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if !res.Satisfied(50) {
+			t.Fatalf("lookup %d got %d entries, want >= 50", i, len(res.Entries))
+		}
+	}
+}
+
+// TestRoundWalkCyclicStep: with gcd(y, n) > 1 the deterministic walk
+// revisits its start before covering all servers; the driver must then
+// continue with the remaining servers rather than loop or give up.
+// Setup: n=10, y=5 (walk visits only 2 servers per cycle), 100 entries
+// so each server holds 50; t=80 requires entries from servers outside
+// the 2-server cycle.
+func TestRoundWalkCyclicStep(t *testing.T) {
+	cl, drv := newPlaced(t, wire.Config{Scheme: wire.RoundRobin, Y: 5}, 100, 10, 22)
+	for i := 0; i < 50; i++ {
+		res, err := drv.PartialLookup(context.Background(), cl.Caller(), "k", 80)
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		if !res.Satisfied(80) {
+			t.Fatalf("cyclic walk got %d entries, want >= 80", len(res.Entries))
+		}
+	}
+}
+
+// TestRandomOrderLookupVisitsAllWhenNeeded: a target equal to the full
+// coverage forces RandomServer to visit servers until done; it must
+// never probe the same server twice.
+func TestRandomOrderLookupVisitsAllWhenNeeded(t *testing.T) {
+	cl, drv := newPlaced(t, wire.Config{Scheme: wire.RandomServer, X: 30}, 60, 6, 23)
+	res, err := drv.PartialLookup(context.Background(), cl.Caller(), "k", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contacted > 6 {
+		t.Fatalf("contacted %d > n", res.Contacted)
+	}
+	_ = cl
+}
+
+// TestHashSeedConsistencyAcrossDrivers: two drivers with the same
+// Hash-y config (including seed) route updates identically, so a key
+// placed by one client can be updated by another.
+func TestHashSeedConsistencyAcrossDrivers(t *testing.T) {
+	rng := stats.NewRNG(24)
+	cl := cluster.New(6, rng.Split())
+	cfg := wire.Config{Scheme: wire.Hash, Y: 2, Seed: 4242}
+	a := strategy.MustNew(cfg, rng.Split())
+	b := strategy.MustNew(cfg, rng.Split())
+	ctx := context.Background()
+	if err := a.Place(ctx, cl.Caller(), "k", entry.Synthetic(20)); err != nil {
+		t.Fatal(err)
+	}
+	// Client b deletes an entry placed by client a: the copies must
+	// all disappear, proving both resolve the same hash family.
+	if err := b.Delete(ctx, cl.Caller(), "k", "v7"); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 6; s++ {
+		if cl.Node(s).LocalSet("k").Contains("v7") {
+			t.Fatalf("server %d still holds v7 after cross-client delete", s)
+		}
+	}
+}

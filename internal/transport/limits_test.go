@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestWriteFrameRejectsOversizedPayload: a message larger than the
+// codec limit must be refused at the sender, not silently truncated.
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	huge := wire.LookupReply{Entries: make([]string, 0, 1)}
+	// Build a payload just over MaxPayload using one giant string is
+	// impossible (strings are capped at 64k by the codec), so use many
+	// entries.
+	n := (wire.MaxPayload / 1024) + 64
+	body := strings.Repeat("x", 1020)
+	for i := 0; i < n; i++ {
+		huge.Entries = append(huge.Entries, body)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, huge); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestClientPoolReuseUnderChurn: checkout/checkin keeps working across
+// bursts larger than the idle cap.
+func TestClientPoolReuseUnderChurn(t *testing.T) {
+	addr, _ := startServer(t)
+	client := NewClient([]string{addr})
+	defer client.Close()
+	ctx := context.Background()
+	for burst := 0; burst < 3; burst++ {
+		done := make(chan error, 10)
+		for g := 0; g < 10; g++ {
+			go func() {
+				_, err := client.Call(ctx, 0, wire.Ping{})
+				done <- err
+			}()
+		}
+		for g := 0; g < 10; g++ {
+			if err := <-done; err != nil {
+				t.Fatalf("burst %d: %v", burst, err)
+			}
+		}
+	}
+}
+
+// TestClientCloseThenCall: a closed client can still place calls (it
+// dials fresh connections); Close only drains the idle pool.
+func TestClientCloseThenCall(t *testing.T) {
+	addr, _ := startServer(t)
+	client := NewClient([]string{addr})
+	if _, err := client.Call(context.Background(), 0, wire.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(context.Background(), 0, wire.Ping{}); err != nil {
+		t.Fatalf("call after Close: %v", err)
+	}
+}

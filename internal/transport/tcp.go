@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Frame format: 4-byte big-endian payload length, then the payload
+// produced by wire.Encode.
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, msg wire.Message) error {
+	payload := wire.Encode(msg)
+	if len(payload) > wire.MaxPayload {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (wire.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > wire.MaxPayload {
+		return nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read frame payload: %w", err)
+	}
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return msg, nil
+}
+
+// Server accepts TCP connections and serves a Handler: one request
+// frame in, one reply frame out, pipelined per connection.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server for the given handler.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:0") and begins accepting
+// connections in a background goroutine, returning the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		msg, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		reply := s.handler.Handle(context.Background(), msg)
+		if reply == nil {
+			reply = wire.Ack{}
+		}
+		if err := WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for the
+// serving goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a Caller over TCP. It keeps a small pool of connections
+// per server: each call checks out an idle connection (dialing a new
+// one if none is free) and returns it afterwards. Pooling — rather
+// than one serialized connection per server — matters for correctness,
+// not just throughput: the Round-Robin delete protocol produces nested
+// RPC chains in which a server calls itself (coordinator → holders →
+// head server), and a serialized connection would deadlock on the
+// re-entrant call.
+type Client struct {
+	addrs   []string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   [][]net.Conn
+	closed bool
+}
+
+var _ Caller = (*Client)(nil)
+
+// maxIdlePerServer bounds the retained idle connections per server.
+const maxIdlePerServer = 4
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-call I/O deadline (default 5s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// NewClient returns a Caller that treats addrs[i] as server i.
+func NewClient(addrs []string, opts ...ClientOption) *Client {
+	c := &Client{
+		addrs:   append([]string(nil), addrs...),
+		timeout: 5 * time.Second,
+		idle:    make([][]net.Conn, len(addrs)),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NumServers returns the number of configured addresses.
+func (c *Client) NumServers() int { return len(c.addrs) }
+
+// Call sends msg to server i and waits for the reply. Connection
+// failures are reported as ErrServerDown so strategy drivers fail over
+// exactly as they do under the in-process transport.
+func (c *Client) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	if server < 0 || server >= len(c.addrs) {
+		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, len(c.addrs))
+	}
+	conn, err := c.checkout(ctx, server)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
+	}
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
+	}
+	if err := WriteFrame(conn, msg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
+	}
+	reply, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
+	}
+	c.checkin(server, conn)
+	return reply, nil
+}
+
+// checkout returns an idle connection to the server or dials a new one.
+func (c *Client) checkout(ctx context.Context, server int) (net.Conn, error) {
+	c.mu.Lock()
+	if n := len(c.idle[server]); n > 0 {
+		conn := c.idle[server][n-1]
+		c.idle[server] = c.idle[server][:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	var d net.Dialer
+	dialCtx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	return d.DialContext(dialCtx, "tcp", c.addrs[server])
+}
+
+// checkin returns a healthy connection to the pool.
+func (c *Client) checkin(server int, conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle[server]) < maxIdlePerServer {
+		c.idle[server] = append(c.idle[server], conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// Close closes all pooled connections; in-flight calls finish on their
+// own connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	var firstErr error
+	for i := range c.idle {
+		for _, conn := range c.idle[i] {
+			if err := conn.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		c.idle[i] = nil
+	}
+	return firstErr
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []wire.Message{
+		wire.Ping{},
+		wire.Lookup{Key: "k", T: 12},
+		wire.LookupReply{Entries: []string{"a", "b"}},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame round trip: got %#v, want %#v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("ReadFrame on empty = %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	// Zero length.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Over the payload limit.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, wire.Lookup{Key: "abcdef", T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// lookupEcho is a Handler that returns the key back.
+type lookupEcho struct{}
+
+func (lookupEcho) Handle(_ context.Context, msg wire.Message) wire.Message {
+	switch m := msg.(type) {
+	case wire.Lookup:
+		return wire.LookupReply{Entries: []string{m.Key}}
+	case wire.Ping:
+		return wire.Ack{}
+	default:
+		return wire.Ack{Err: "unexpected"}
+	}
+}
+
+func startServer(t *testing.T) (addr string, srv *Server) {
+	t.Helper()
+	srv = NewServer(lookupEcho{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	addr, _ := startServer(t)
+	client := NewClient([]string{addr})
+	defer client.Close()
+
+	reply, err := client.Call(context.Background(), 0, wire.Lookup{Key: "hello", T: 1})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	lr, ok := reply.(wire.LookupReply)
+	if !ok || len(lr.Entries) != 1 || lr.Entries[0] != "hello" {
+		t.Fatalf("reply = %#v", reply)
+	}
+}
+
+func TestClientReusesConnection(t *testing.T) {
+	addr, _ := startServer(t)
+	client := NewClient([]string{addr})
+	defer client.Close()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := client.Call(ctx, 0, wire.Ping{}); err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientUnreachableServerIsDown(t *testing.T) {
+	// Reserve an address and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	client := NewClient([]string{addr}, WithTimeout(200*time.Millisecond))
+	defer client.Close()
+	_, err = client.Call(context.Background(), 0, wire.Ping{})
+	if !errors.Is(err, ErrServerDown) {
+		t.Fatalf("Call to dead addr = %v, want ErrServerDown", err)
+	}
+}
+
+func TestClientServerStopAndRestart(t *testing.T) {
+	srv := NewServer(lookupEcho{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient([]string{addr}, WithTimeout(500*time.Millisecond))
+	defer client.Close()
+	ctx := context.Background()
+	if _, err := client.Call(ctx, 0, wire.Ping{}); err != nil {
+		t.Fatalf("first Call: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Now the server is gone: calls must fail as down, not hang.
+	if _, err := client.Call(ctx, 0, wire.Ping{}); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("Call after close = %v, want ErrServerDown", err)
+	}
+
+	// A new server on the same address serves the same client again.
+	srv2 := NewServer(lookupEcho{})
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+	defer srv2.Close()
+	if _, err := client.Call(ctx, 0, wire.Ping{}); err != nil {
+		t.Fatalf("Call after restart: %v", err)
+	}
+}
+
+func TestClientConcurrentCalls(t *testing.T) {
+	addr, _ := startServer(t)
+	client := NewClient([]string{addr, addr})
+	defer client.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, err := client.Call(context.Background(), g%2, wire.Lookup{Key: "x", T: 1})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Call: %v", err)
+	}
+}
+
+func TestClientOutOfRange(t *testing.T) {
+	client := NewClient([]string{"127.0.0.1:1"})
+	defer client.Close()
+	if _, err := client.Call(context.Background(), 5, wire.Ping{}); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+	if client.NumServers() != 1 {
+		t.Fatalf("NumServers = %d", client.NumServers())
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	_, srv := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestClientContextDeadline(t *testing.T) {
+	// A server that never replies: accept and stall.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			io.Copy(io.Discard, conn) // read but never reply
+		}
+	}()
+
+	client := NewClient([]string{ln.Addr().String()}, WithTimeout(5*time.Second))
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Call(ctx, 0, wire.Ping{})
+	if err == nil {
+		t.Fatal("stalled call succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("context deadline not honored: call took %v", elapsed)
+	}
+}

@@ -1,0 +1,141 @@
+// Package transport connects clients and lookup servers.
+//
+// Two implementations are provided:
+//
+//   - Inproc dispatches messages by direct function call, counts every
+//     message a server processes (the paper's update-overhead cost model,
+//     Sec. 6.4: a point-to-point message costs 1, a broadcast costs n),
+//     and supports failure injection for the fault-tolerance experiments.
+//
+//   - Client/Server in tcp.go carry the same wire messages over real
+//     sockets, proving the protocols run on a network, not only in a
+//     simulator.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// ErrServerDown is returned by Call when the target server has failed.
+// Client strategy drivers react by probing a different server, as the
+// paper specifies ("keep on selecting another random server until an
+// operational server is found").
+var ErrServerDown = errors.New("transport: server down")
+
+// Caller sends a request message to one server and returns its reply.
+// It is implemented by *Inproc and *Client and consumed by the strategy
+// drivers and server nodes (for peer traffic).
+type Caller interface {
+	// Call delivers msg to the given server and returns the reply.
+	Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error)
+	// NumServers returns the cluster size n.
+	NumServers() int
+}
+
+// Handler processes one message at a server and produces a reply.
+// *node.Node implements it.
+type Handler interface {
+	Handle(ctx context.Context, msg wire.Message) wire.Message
+}
+
+// Inproc is an in-process transport over a fixed set of handlers.
+// It is safe for concurrent use, although the simulations are
+// single-goroutine; handlers may issue nested Calls (broadcasts,
+// migrations) from within Handle.
+type Inproc struct {
+	handlers []Handler
+	down     []atomic.Bool
+	// processed[i] counts messages processed by server i. Calls to a
+	// down server are rejected without counting (the server never
+	// processed them).
+	processed []atomic.Int64
+
+	mu sync.RWMutex // guards handler slice replacement only
+}
+
+var _ Caller = (*Inproc)(nil)
+
+// NewInproc returns a transport for n servers with no handlers bound
+// yet; Bind each server before the first Call.
+func NewInproc(n int) *Inproc {
+	if n <= 0 {
+		panic("transport: NewInproc requires n > 0")
+	}
+	return &Inproc{
+		handlers:  make([]Handler, n),
+		down:      make([]atomic.Bool, n),
+		processed: make([]atomic.Int64, n),
+	}
+}
+
+// Bind attaches the handler for one server id.
+func (t *Inproc) Bind(server int, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[server] = h
+}
+
+// NumServers returns the cluster size.
+func (t *Inproc) NumServers() int { return len(t.handlers) }
+
+// Call dispatches msg to the server's handler, counting it as one
+// processed message. A down server returns ErrServerDown.
+func (t *Inproc) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	if server < 0 || server >= len(t.handlers) {
+		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, len(t.handlers))
+	}
+	if t.down[server].Load() {
+		return nil, fmt.Errorf("%w: server %d", ErrServerDown, server)
+	}
+	t.mu.RLock()
+	h := t.handlers[server]
+	t.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("transport: server %d has no handler bound", server)
+	}
+	t.processed[server].Add(1)
+	return h.Handle(ctx, msg), nil
+}
+
+// SetDown marks a server as failed or recovered.
+func (t *Inproc) SetDown(server int, down bool) { t.down[server].Store(down) }
+
+// Down reports whether a server is failed.
+func (t *Inproc) Down(server int) bool { return t.down[server].Load() }
+
+// DownCount returns the number of failed servers.
+func (t *Inproc) DownCount() int {
+	c := 0
+	for i := range t.down {
+		if t.down[i].Load() {
+			c++
+		}
+	}
+	return c
+}
+
+// Processed returns the number of messages processed by one server.
+func (t *Inproc) Processed(server int) int64 { return t.processed[server].Load() }
+
+// TotalProcessed returns the number of messages processed by all
+// servers: the paper's update-overhead metric.
+func (t *Inproc) TotalProcessed() int64 {
+	var total int64
+	for i := range t.processed {
+		total += t.processed[i].Load()
+	}
+	return total
+}
+
+// ResetCounters zeroes all message counters.
+func (t *Inproc) ResetCounters() {
+	for i := range t.processed {
+		t.processed[i].Store(0)
+	}
+}

@@ -1,0 +1,422 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec limits. Oversized fields are rejected at decode time so a
+// malformed or hostile peer cannot force huge allocations.
+const (
+	// MaxPayload is the largest encoded message the codec accepts.
+	MaxPayload = 16 << 20
+	// maxSliceLen bounds decoded slice lengths.
+	maxSliceLen = 1 << 20
+	// maxStringLen bounds decoded string lengths.
+	maxStringLen = 1 << 16
+)
+
+// Encoding errors.
+var (
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrOversized  = errors.New("wire: oversized field")
+	ErrUnknown    = errors.New("wire: unknown message kind")
+	ErrTrailing   = errors.New("wire: trailing bytes after message")
+	ErrBadVarint  = errors.New("wire: malformed varint")
+	ErrBadMessage = errors.New("wire: malformed message")
+)
+
+// Encode serializes msg as a kind byte followed by its fields.
+func Encode(msg Message) []byte {
+	e := encoder{buf: make([]byte, 0, 64)}
+	e.byte(byte(msg.Kind()))
+	switch m := msg.(type) {
+	case Place:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.strs(m.Entries)
+	case Add:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.str(m.Entry)
+	case Delete:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.str(m.Entry)
+	case Lookup:
+		e.str(m.Key)
+		e.uvarint(uint64(m.T))
+	case StoreBatch:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.strs(m.Entries)
+	case StoreOne:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.str(m.Entry)
+		e.uvarint(uint64(m.Pos))
+	case RemoveOne:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.str(m.Entry)
+	case RoundRemove:
+		e.str(m.Key)
+		e.str(m.Entry)
+		e.uvarint(uint64(m.HeadServer))
+		e.uvarint(uint64(m.HeadPos))
+	case RemoveAt:
+		e.str(m.Key)
+		e.str(m.Entry)
+		e.uvarint(uint64(m.Pos))
+	case CounterSync:
+		e.str(m.Key)
+		e.uvarint(uint64(m.Head))
+		e.uvarint(uint64(m.Tail))
+	case Migrate:
+		e.str(m.Key)
+		e.str(m.Entry)
+	case Dump:
+		e.str(m.Key)
+	case Ping:
+		// no fields
+	case Ack:
+		e.str(m.Err)
+	case LookupReply:
+		e.strs(m.Entries)
+		e.str(m.Err)
+	case MigrateReply:
+		e.str(m.Replacement)
+		e.bool(m.Found)
+		e.str(m.Err)
+	case DumpReply:
+		e.strs(m.Entries)
+		e.str(m.Err)
+	default:
+		panic(fmt.Sprintf("wire: Encode called with unregistered message type %T", msg))
+	}
+	return e.buf
+}
+
+// Decode parses a message previously produced by Encode. It never
+// panics on malformed input; it returns a descriptive error instead.
+func Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	if len(data) > MaxPayload {
+		return nil, ErrOversized
+	}
+	d := decoder{buf: data[1:]}
+	kind := Kind(data[0])
+	var (
+		msg Message
+		err error
+	)
+	switch kind {
+	case KindPlace:
+		var m Place
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		msg = m
+	case KindAdd:
+		var m Add
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		msg = m
+	case KindDelete:
+		var m Delete
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		msg = m
+	case KindLookup:
+		var m Lookup
+		m.Key, err = d.str()
+		if err == nil {
+			m.T, err = d.intval()
+		}
+		msg = m
+	case KindStoreBatch:
+		var m StoreBatch
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		msg = m
+	case KindStoreOne:
+		var m StoreOne
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		if err == nil {
+			m.Pos, err = d.intval()
+		}
+		msg = m
+	case KindRemoveOne:
+		var m RemoveOne
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		msg = m
+	case KindRoundRemove:
+		var m RoundRemove
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		if err == nil {
+			m.HeadServer, err = d.intval()
+		}
+		if err == nil {
+			m.HeadPos, err = d.intval()
+		}
+		msg = m
+	case KindRemoveAt:
+		var m RemoveAt
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		if err == nil {
+			m.Pos, err = d.intval()
+		}
+		msg = m
+	case KindCounterSync:
+		var m CounterSync
+		m.Key, err = d.str()
+		if err == nil {
+			m.Head, err = d.intval()
+		}
+		if err == nil {
+			m.Tail, err = d.intval()
+		}
+		msg = m
+	case KindMigrate:
+		var m Migrate
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		msg = m
+	case KindDump:
+		var m Dump
+		m.Key, err = d.str()
+		msg = m
+	case KindPing:
+		msg = Ping{}
+	case KindAck:
+		var m Ack
+		m.Err, err = d.str()
+		msg = m
+	case KindLookupReply:
+		var m LookupReply
+		m.Entries, err = d.strs()
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
+	case KindMigrateReply:
+		var m MigrateReply
+		m.Replacement, err = d.str()
+		if err == nil {
+			m.Found, err = d.boolval()
+		}
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
+	case KindDumpReply:
+		var m DumpReply
+		m.Entries, err = d.strs()
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknown, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(d.buf) != 0 {
+		return nil, ErrTrailing
+	}
+	return msg, nil
+}
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(b byte) { e.buf = append(e.buf, b) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) strs(ss []string) {
+	e.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (e *encoder) config(c Config) {
+	e.byte(byte(c.Scheme))
+	e.uvarint(uint64(c.X))
+	e.uvarint(uint64(c.Y))
+	e.uvarint(c.Seed)
+	e.bool(c.RSReplace)
+	e.uvarint(uint64(c.Coordinators))
+}
+
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) byteval() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) boolval() (bool, error) {
+	b, err := d.byteval()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, ErrBadMessage
+	}
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, ErrBadVarint
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) intval() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, ErrOversized
+	}
+	return int(v), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", ErrOversized
+	}
+	if uint64(len(d.buf)) < n {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *decoder) strs() ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, ErrOversized
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (d *decoder) config() (Config, error) {
+	var c Config
+	b, err := d.byteval()
+	if err != nil {
+		return c, err
+	}
+	c.Scheme = Scheme(b)
+	if c.X, err = d.intval(); err != nil {
+		return c, err
+	}
+	if c.Y, err = d.intval(); err != nil {
+		return c, err
+	}
+	if c.Seed, err = d.uvarint(); err != nil {
+		return c, err
+	}
+	if c.RSReplace, err = d.boolval(); err != nil {
+		return c, err
+	}
+	if c.Coordinators, err = d.intval(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

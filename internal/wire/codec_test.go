@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// allMessages is a representative message of every kind, with all
+// fields populated.
+func allMessages() []Message {
+	cfg := Config{Scheme: Hash, X: 3, Y: 7, Seed: 0xdeadbeef, RSReplace: true}
+	return []Message{
+		Place{Key: "song/abc", Config: cfg, Entries: []string{"v1", "v2", "v3"}},
+		Add{Key: "k", Config: cfg, Entry: "10.0.0.1:99"},
+		Delete{Key: "k", Config: cfg, Entry: "v"},
+		Lookup{Key: "k", T: 35},
+		StoreBatch{Key: "k", Config: cfg, Entries: []string{"a"}},
+		StoreBatch{Key: "k", Config: cfg}, // nil entries
+		StoreOne{Key: "k", Config: cfg, Entry: "v9"},
+		RemoveOne{Key: "k", Config: cfg, Entry: "v9"},
+		RoundRemove{Key: "k", Entry: "v3", HeadServer: 4, HeadPos: 12},
+		RemoveAt{Key: "k", Entry: "v1", Pos: 8},
+		StoreOne{Key: "k", Config: cfg, Entry: "v9", Pos: 3},
+		Migrate{Key: "k", Entry: "v3"},
+		Dump{Key: "k"},
+		Ping{},
+		Ack{},
+		Ack{Err: "boom"},
+		LookupReply{Entries: []string{"x", "y"}, Err: ""},
+		LookupReply{Err: "no such key"},
+		MigrateReply{Replacement: "v1", Found: true},
+		MigrateReply{Found: false, Err: "pending removal missing"},
+		DumpReply{Entries: []string{"v1"}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, msg := range allMessages() {
+		data := Encode(msg)
+		got, err := Decode(data)
+		if err != nil {
+			t.Errorf("Decode(%T): %v", msg, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip %T: got %#v, want %#v", msg, got, msg)
+		}
+	}
+}
+
+func TestDecodeRejectsEmpty(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Decode(nil) = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte{0xFF}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Decode(unknown) = %v, want ErrUnknown", err)
+	}
+	if _, err := Decode([]byte{0x00}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Decode(kind 0) = %v, want ErrUnknown", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	data := Encode(Ping{})
+	data = append(data, 0x01)
+	if _, err := Decode(data); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Decode(trailing) = %v, want ErrTrailing", err)
+	}
+}
+
+// TestDecodeEveryTruncation chops every valid encoding at every length
+// and requires a clean error (never a panic, never silent success
+// except at full length).
+func TestDecodeEveryTruncation(t *testing.T) {
+	for _, msg := range allMessages() {
+		data := Encode(msg)
+		for cut := 0; cut < len(data); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Decode panicked on truncated %T at %d/%d: %v", msg, cut, len(data), r)
+					}
+				}()
+				got, err := Decode(data[:cut])
+				// A strict prefix may still decode successfully if the
+				// truncated tail was itself a valid message (rare but
+				// possible with zero-length fields); what must never
+				// happen is a panic or an equal-but-shorter decode.
+				if err == nil && reflect.DeepEqual(got, msg) && cut < len(data) {
+					t.Fatalf("truncated %T decoded equal to original at %d/%d", msg, cut, len(data))
+				}
+			}()
+		}
+	}
+}
+
+func TestDecodeRejectsOversizedString(t *testing.T) {
+	// Hand-craft a Dump whose key length claims 2^40.
+	data := []byte{byte(KindDump), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("oversized string length accepted")
+	}
+}
+
+func TestDecodeRejectsOversizedSlice(t *testing.T) {
+	// LookupReply with an absurd entry count.
+	data := []byte{byte(KindLookupReply), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("oversized slice length accepted")
+	}
+}
+
+func TestDecodeRejectsBadBool(t *testing.T) {
+	m := MigrateReply{Replacement: "r", Found: true}
+	data := Encode(m)
+	// The bool byte follows the 1-byte length + 1-byte "r" after the kind.
+	data[3] = 2
+	if _, err := Decode(data); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("bad bool byte: %v, want ErrBadMessage", err)
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	check := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecQuickRoundTrip property-tests the codec over random Place
+// messages (the richest message shape).
+func TestCodecQuickRoundTrip(t *testing.T) {
+	check := func(key string, scheme uint8, x, y uint16, seed uint64, entries []string) bool {
+		if len(key) > 1000 {
+			key = key[:1000]
+		}
+		for i := range entries {
+			if len(entries[i]) > 200 {
+				entries[i] = entries[i][:200]
+			}
+		}
+		if len(entries) > 100 {
+			entries = entries[:100]
+		}
+		msg := Place{
+			Key:     key,
+			Config:  Config{Scheme: Scheme(scheme), X: int(x), Y: int(y), Seed: seed},
+			Entries: entries,
+		}
+		got, err := Decode(Encode(msg))
+		if err != nil {
+			return false
+		}
+		want := msg
+		if len(want.Entries) == 0 {
+			want.Entries = nil // codec does not distinguish nil from empty
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeUnregisteredTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode of unregistered type did not panic")
+		}
+	}()
+	Encode(fakeMessage{})
+}
+
+type fakeMessage struct{}
+
+func (fakeMessage) Kind() Kind { return Kind(200) }

@@ -1,0 +1,341 @@
+// Package wire defines the protocol messages exchanged between clients
+// and lookup servers (and between servers), together with a compact
+// binary codec used by the TCP transport.
+//
+// Every operation in the paper maps to a message here:
+//
+//   - place / add / delete / partial_lookup client requests (Sec. 2)
+//   - store / remove server broadcasts (Secs. 3, 5)
+//   - the Round-Robin delete-and-migrate protocol of Fig. 11
+//
+// Messages are plain data; all behavior lives in internal/node (server
+// side) and internal/strategy (client side).
+package wire
+
+import "fmt"
+
+// Scheme identifies one of the paper's five placement strategies.
+type Scheme uint8
+
+// The five strategies of Sec. 3. Values start at one so the zero value
+// is detectably unset.
+const (
+	FullReplication Scheme = iota + 1
+	Fixed
+	RandomServer
+	RoundRobin
+	Hash
+	// KeyPartition is the traditional hashing baseline of Fig. 1
+	// (center): the key is hashed to a single server that stores the
+	// complete entry set. It is not a partial-lookup strategy — the
+	// paper's conclusion contrasts partial lookups against exactly
+	// this design's hot-spot and fault-tolerance weaknesses.
+	KeyPartition
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case FullReplication:
+		return "FullReplication"
+	case Fixed:
+		return "Fixed-x"
+	case RandomServer:
+		return "RandomServer-x"
+	case RoundRobin:
+		return "Round-y"
+	case Hash:
+		return "Hash-y"
+	case KeyPartition:
+		return "KeyPartition"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is one of the five defined schemes.
+func (s Scheme) Valid() bool { return s >= FullReplication && s <= KeyPartition }
+
+// Config selects a strategy and its parameter for one key. Exactly one
+// of X or Y is meaningful depending on the scheme:
+//
+//   - Fixed and RandomServer use X, the per-server subset size;
+//   - RoundRobin and Hash use Y, the replication degree;
+//   - FullReplication uses neither.
+type Config struct {
+	Scheme Scheme
+	X      int
+	Y      int
+	// Seed selects the Hash-y hash family f1..fy. All servers learn it
+	// from the config carried on placement/update messages, so the
+	// family is consistent cluster-wide. Zero is a valid family;
+	// experiments draw a fresh seed per run to average over families,
+	// as the paper's simulations do.
+	Seed uint64
+	// Coordinators is the number of servers mirroring the Round-y
+	// head/tail counters (servers 0..Coordinators-1). The paper's
+	// footnote 1 suggests this generalization of the centralized
+	// scheme "to improve reliability": updates go to the lowest-id
+	// live coordinator, and counter changes are mirrored to the rest,
+	// so Round-y updates survive coordinator failures. Zero or one
+	// means the paper's base scheme (server 0 only).
+	Coordinators int
+	// RSReplace selects the Sec. 5.3 alternative delete handling for
+	// RandomServer-x: instead of tolerating a below-x set until new
+	// adds arrive (the cushion scheme), a server that deletes a local
+	// copy actively contacts other servers to find a replacement
+	// entry. The paper argues this costs more and is no fairer; the
+	// ext-rsreplace experiment measures that claim.
+	RSReplace bool
+}
+
+// Validate checks that the config is internally consistent for a cluster
+// of n servers.
+func (c Config) Validate(n int) error {
+	if !c.Scheme.Valid() {
+		return fmt.Errorf("wire: invalid scheme %d", c.Scheme)
+	}
+	switch c.Scheme {
+	case Fixed, RandomServer:
+		if c.X <= 0 {
+			return fmt.Errorf("wire: %v requires x > 0, got %d", c.Scheme, c.X)
+		}
+	case RoundRobin, Hash:
+		if c.Y <= 0 {
+			return fmt.Errorf("wire: %v requires y > 0, got %d", c.Scheme, c.Y)
+		}
+		if c.Scheme == RoundRobin && c.Y > n && n > 0 {
+			return fmt.Errorf("wire: Round-y requires y <= n, got y=%d n=%d", c.Y, n)
+		}
+		if c.Scheme == RoundRobin && c.Coordinators > n && n > 0 {
+			return fmt.Errorf("wire: Round-y requires coordinators <= n, got %d of %d", c.Coordinators, n)
+		}
+	}
+	return nil
+}
+
+// Param returns the scheme's active parameter value (x or y, 0 for full
+// replication), for display.
+func (c Config) Param() int {
+	switch c.Scheme {
+	case Fixed, RandomServer:
+		return c.X
+	case RoundRobin, Hash:
+		return c.Y
+	default:
+		return 0
+	}
+}
+
+// String renders the config the way the paper labels curves, e.g.
+// "RandomServer-20" or "Hash-2".
+func (c Config) String() string {
+	switch c.Scheme {
+	case FullReplication:
+		return "FullReplication"
+	case Fixed:
+		return fmt.Sprintf("Fixed-%d", c.X)
+	case RandomServer:
+		if c.RSReplace {
+			return fmt.Sprintf("RandomServer-%d+replace", c.X)
+		}
+		return fmt.Sprintf("RandomServer-%d", c.X)
+	case RoundRobin:
+		return fmt.Sprintf("Round-%d", c.Y)
+	case Hash:
+		return fmt.Sprintf("Hash-%d", c.Y)
+	case KeyPartition:
+		return "KeyPartition"
+	default:
+		return fmt.Sprintf("Config(%d)", uint8(c.Scheme))
+	}
+}
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. Values are part of the wire format; do not reorder.
+const (
+	KindPlace Kind = iota + 1
+	KindAdd
+	KindDelete
+	KindLookup
+	KindStoreBatch
+	KindStoreOne
+	KindRemoveOne
+	KindRoundRemove
+	KindRemoveAt
+	KindCounterSync
+	KindMigrate
+	KindDump
+	KindPing
+	KindAck
+	KindLookupReply
+	KindMigrateReply
+	KindDumpReply
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Kind() Kind
+}
+
+// Place is the client's place(k, {v1..vh}) request, sent to one random
+// server which then distributes entries per the key's strategy. Config
+// travels with the request so servers learn how the key is managed.
+type Place struct {
+	Key     string
+	Config  Config
+	Entries []string
+}
+
+// Add is the client's add(k, v) request. Config rides along so a server
+// that has not yet seen the key (e.g. it joined after the place, or the
+// placement left it empty) can still apply the right scheme.
+type Add struct {
+	Key    string
+	Config Config
+	Entry  string
+}
+
+// Delete is the client's delete(k, v) request. See Add for why Config is
+// included.
+type Delete struct {
+	Key    string
+	Config Config
+	Entry  string
+}
+
+// Lookup is the client's partial_lookup(k, t) probe of a single server.
+// The client-side strategy driver decides which and how many servers to
+// probe; each probe asks for up to T entries.
+type Lookup struct {
+	Key string
+	T   int
+}
+
+// StoreBatch is the server-to-server broadcast carrying the full entry
+// list of a place operation (Full Replication, Fixed-x, RandomServer-x).
+// Each receiver applies its scheme-specific local selection rule.
+type StoreBatch struct {
+	Key     string
+	Config  Config
+	Entries []string
+}
+
+// StoreOne instructs a server to store a single entry (Round-y and
+// Hash-y placement; add broadcasts for the replicated schemes).
+// Config is included so that receivers can lazily initialize per-key
+// state when an add precedes any place. Pos is the entry's round-robin
+// sequence position (meaningful for Round-y only): the entry at
+// position p lives on servers (p mod n)..(p+y-1 mod n), the invariant
+// the Fig. 11 migration protocol maintains.
+type StoreOne struct {
+	Key    string
+	Config Config
+	Entry  string
+	Pos    int
+}
+
+// RemoveOne instructs a server to delete its local copy of an entry.
+// It is also the "remove(u)" message of the Fig. 11 migration protocol.
+type RemoveOne struct {
+	Key    string
+	Config Config
+	Entry  string
+}
+
+// RoundRemove is the Fig. 11 broadcast "remove(v, head)": delete v and,
+// if the receiver stored v, fetch a replacement from the head server.
+// HeadServer is the server id responsible for supplying the replacement
+// (head mod n), and HeadPos is the round-robin position the replacement
+// entry currently occupies.
+type RoundRemove struct {
+	Key        string
+	Entry      string
+	HeadServer int
+	HeadPos    int
+}
+
+// RemoveAt retires the replacement entry's original copies after a
+// Fig. 11 migration completes: delete the local copy of Entry only if
+// it still sits at round-robin position Pos (copies that migrated into
+// the hole carry the hole's position and must survive).
+type RemoveAt struct {
+	Key   string
+	Entry string
+	Pos   int
+}
+
+// CounterSync mirrors the Round-y coordinator counters to a standby
+// coordinator (footnote 1 generalization). Receivers adopt the values
+// only if they advance their local view, so replayed or reordered
+// syncs are harmless.
+type CounterSync struct {
+	Key  string
+	Head int
+	Tail int
+}
+
+// Migrate is the Fig. 11 "migrate(v)" request sent to the head server by
+// each server that stored the deleted entry v.
+type Migrate struct {
+	Key   string
+	Entry string
+}
+
+// Dump asks a server for its complete local entry set for a key
+// (debugging, integration tests, metric snapshots over TCP).
+type Dump struct {
+	Key string
+}
+
+// Ping checks liveness.
+type Ping struct{}
+
+// Ack is the generic reply. Err is empty on success.
+type Ack struct {
+	Err string
+}
+
+// LookupReply returns up to T entries sampled from the server's local
+// set, or an error.
+type LookupReply struct {
+	Entries []string
+	Err     string
+}
+
+// MigrateReply returns the replacement entry chosen by the head server.
+// Found is false when no replacement exists (e.g. the head server has no
+// other entries).
+type MigrateReply struct {
+	Replacement string
+	Found       bool
+	Err         string
+}
+
+// DumpReply returns a server's complete local set for a key.
+type DumpReply struct {
+	Entries []string
+	Err     string
+}
+
+// Kind implementations.
+
+func (Place) Kind() Kind        { return KindPlace }
+func (Add) Kind() Kind          { return KindAdd }
+func (Delete) Kind() Kind       { return KindDelete }
+func (Lookup) Kind() Kind       { return KindLookup }
+func (StoreBatch) Kind() Kind   { return KindStoreBatch }
+func (StoreOne) Kind() Kind     { return KindStoreOne }
+func (RemoveOne) Kind() Kind    { return KindRemoveOne }
+func (RoundRemove) Kind() Kind  { return KindRoundRemove }
+func (RemoveAt) Kind() Kind     { return KindRemoveAt }
+func (CounterSync) Kind() Kind  { return KindCounterSync }
+func (Migrate) Kind() Kind      { return KindMigrate }
+func (Dump) Kind() Kind         { return KindDump }
+func (Ping) Kind() Kind         { return KindPing }
+func (Ack) Kind() Kind          { return KindAck }
+func (LookupReply) Kind() Kind  { return KindLookupReply }
+func (MigrateReply) Kind() Kind { return KindMigrateReply }
+func (DumpReply) Kind() Kind    { return KindDumpReply }
