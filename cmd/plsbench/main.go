@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -37,6 +38,7 @@ func run() error {
 		runs     = flag.Int("runs", 0, "override: placements averaged per data point")
 		lookups  = flag.Int("lookups", 0, "override: lookups per placement")
 		updates  = flag.Int("updates", 0, "override: update events per dynamic run")
+		out      = flag.String("out", "", "also write the rendered tables to this file (e.g. results/availability.md)")
 	)
 	flag.Parse()
 
@@ -77,21 +79,32 @@ func run() error {
 		experiments = []bench.Experiment{e}
 	}
 
+	var archive strings.Builder
 	for _, e := range experiments {
 		start := time.Now()
 		table, err := e.Run(fid, *seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		var rendered string
 		switch *format {
 		case "md":
-			fmt.Println(table.Markdown())
+			rendered = table.Markdown()
 		case "csv":
-			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+			rendered = fmt.Sprintf("# %s — %s\n%s", table.ID, table.Title, table.CSV())
 		default:
-			fmt.Println(table.String())
+			rendered = table.String()
 		}
+		fmt.Println(rendered)
+		archive.WriteString(rendered)
+		archive.WriteByte('\n')
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(archive.String()), 0o644); err != nil {
+			return fmt.Errorf("write -out file: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *out)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -42,6 +44,20 @@ func run() error {
 		y       = flag.Int("y", 1, "y parameter (round, hash)")
 		seed    = flag.Uint64("hash-seed", 0, "hash family seed (hash scheme)")
 		timeout = flag.Duration("timeout", 5*time.Second, "RPC timeout")
+
+		// Lookup resilience policy (see core.LookupPolicy).
+		lookupTimeout = flag.Duration("lookup-timeout", 0, "end-to-end deadline for one lookup (0 = none)")
+		retries       = flag.Int("retries", 1, "attempts per probe before failing over to the next server")
+		backoff       = flag.Duration("backoff", 50*time.Millisecond, "delay before the first retry (doubles per retry)")
+		maxBackoff    = flag.Duration("max-backoff", time.Second, "cap on the per-retry delay")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "send a second identical probe after this latency (0 = off)")
+
+		// Client-side chaos injection, for exercising the resilience
+		// path against a real plsd cluster.
+		chaosDrop    = flag.Float64("chaos-drop", 0, "probability a call is dropped before it is sent")
+		chaosLatency = flag.Duration("chaos-latency", 0, "fixed latency added to every call")
+		chaosJitter  = flag.Duration("chaos-jitter", 0, "uniform extra latency in [0, jitter)")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "RNG seed for the injected fault schedule")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -56,12 +72,33 @@ func run() error {
 	}
 	client := transport.NewClient(addrs, transport.WithTimeout(*timeout))
 	defer client.Close()
+	var caller transport.Caller = client
+	if *chaosDrop > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
+		chaos := transport.NewChaos(client, stats.NewRNG(*chaosSeed))
+		for i := range addrs {
+			chaos.SetFaults(i, transport.Faults{
+				Latency:  *chaosLatency,
+				Jitter:   *chaosJitter,
+				DropRate: *chaosDrop,
+			})
+		}
+		caller = chaos
+	}
 
 	cfg, err := cliutil.ParseScheme(*scheme, *x, *y, *seed)
 	if err != nil {
 		return err
 	}
-	svc, err := core.NewService(client, core.WithDefaultConfig(cfg))
+	svc, err := core.NewService(caller,
+		core.WithDefaultConfig(cfg),
+		core.WithLookupPolicy(core.LookupPolicy{
+			Timeout:     *lookupTimeout,
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+			MaxBackoff:  *maxBackoff,
+			Jitter:      0.5,
+			HedgeAfter:  *hedgeAfter,
+		}))
 	if err != nil {
 		return err
 	}
@@ -103,11 +140,13 @@ func run() error {
 			return fmt.Errorf("bad target answer size %q: %w", args[2], err)
 		}
 		res, err := svc.PartialLookup(ctx, key, t)
-		if err != nil {
+		if err != nil && !errors.Is(err, core.ErrPartialResult) {
 			return err
 		}
 		status := "satisfied"
-		if !res.Satisfied(t) {
+		if err != nil {
+			status = "PARTIAL (deadline)"
+		} else if !res.Satisfied(t) {
 			status = "UNSATISFIED"
 		}
 		fmt.Printf("partial_lookup(%q, %d): %d entries from %d servers (%s)\n",

@@ -40,6 +40,15 @@ func run() error {
 		listen  = flag.String("listen", "", "listen address (default: the peer entry for -id)")
 		seed    = flag.Uint64("seed", 0, "RNG seed for answer sampling (0 = derived from time)")
 		timeout = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
+		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
+
+		// Chaos injection on outgoing peer traffic, for fault-tolerance
+		// drills against a live cluster (same middleware the simulator
+		// uses; see internal/transport.Chaos).
+		chaosDrop    = flag.Float64("chaos-drop", 0, "probability an outgoing peer call is dropped")
+		chaosLatency = flag.Duration("chaos-latency", 0, "fixed latency added to every outgoing peer call")
+		chaosJitter  = flag.Duration("chaos-jitter", 0, "uniform extra peer-call latency in [0, jitter)")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "RNG seed for the injected fault schedule")
 	)
 	flag.Parse()
 
@@ -62,7 +71,22 @@ func run() error {
 	nd := node.New(*id, stats.NewRNG(rngSeed))
 	peerClient := transport.NewClient(addrs, transport.WithTimeout(*timeout))
 	defer peerClient.Close()
-	nd.Attach(peerClient)
+	var peerCaller transport.Caller = peerClient
+	if *chaosDrop > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
+		chaos := transport.NewChaos(peerClient, stats.NewRNG(*chaosSeed))
+		for i := range addrs {
+			chaos.SetFaults(i, transport.Faults{
+				Latency:  *chaosLatency,
+				Jitter:   *chaosJitter,
+				DropRate: *chaosDrop,
+			})
+		}
+		peerCaller = chaos.Origin(*id)
+	}
+	if *retries > 1 {
+		peerCaller = transport.NewRetry(peerCaller, *retries, 25*time.Millisecond)
+	}
+	nd.Attach(peerCaller)
 
 	srv := transport.NewServer(nd)
 	bound, err := srv.Listen(bind)

@@ -24,6 +24,7 @@ func ExtensionExperiments() []Experiment {
 		{ID: "ext-failures", Title: "Random-failure degradation per strategy", Run: ExtRandomFailures},
 		{ID: "ext-optimaly", Title: "Hash-y adaptive vs. pinned y policy", Run: ExtOptimalYPolicy},
 		{ID: "ext-hotspot", Title: "Hot-key load: partial lookup vs. traditional key hashing", Run: ExtHotSpot},
+		{ID: "ext-availability", Title: "Achieved-t rate under churn, drops, and a resilient lookup policy", Run: ExtAvailability},
 	}
 }
 

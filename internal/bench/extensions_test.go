@@ -61,7 +61,7 @@ func TestExtOverlayTradeoffShape(t *testing.T) {
 
 func TestExtensionRegistry(t *testing.T) {
 	exts := ExtensionExperiments()
-	if len(exts) != 5 {
+	if len(exts) != 6 {
 		t.Fatalf("extensions = %d", len(exts))
 	}
 	for _, e := range exts {

@@ -2,9 +2,18 @@
 // transport, with failure injection and metric snapshots. It is the
 // substrate every simulation and benchmark runs on; the TCP deployment
 // path (cmd/plsd + transport.Client) shares the same node code.
+//
+// All traffic — client probes and server-to-server peer messages —
+// flows through a transport.Chaos middleware, so simulations can
+// inject latency, message drops, slow restarts, and pairwise
+// partitions in addition to the binary up/down failures of Fail and
+// Recover. With no faults configured the chaos layer is a transparent
+// pass-through consuming no randomness, so seeded runs are unchanged.
 package cluster
 
 import (
+	"time"
+
 	"repro/internal/entry"
 	"repro/internal/node"
 	"repro/internal/stats"
@@ -14,6 +23,7 @@ import (
 // Cluster is a set of n in-process lookup servers.
 type Cluster struct {
 	tr    *transport.Inproc
+	chaos *transport.Chaos
 	nodes []*node.Node
 }
 
@@ -29,7 +39,12 @@ func New(n int, rng *stats.RNG) *Cluster {
 	}
 	for i := 0; i < n; i++ {
 		c.nodes[i] = node.New(i, rng.Split())
-		c.nodes[i].Attach(c.tr)
+	}
+	// The chaos RNG splits after the node RNGs so node seeds (and every
+	// golden value derived from them) match the pre-chaos layout.
+	c.chaos = transport.NewChaos(c.tr, rng.Split())
+	for i := 0; i < n; i++ {
+		c.nodes[i].Attach(c.chaos.Origin(i))
 		c.tr.Bind(i, c.nodes[i])
 	}
 	return c
@@ -38,9 +53,14 @@ func New(n int, rng *stats.RNG) *Cluster {
 // N returns the number of servers.
 func (c *Cluster) N() int { return len(c.nodes) }
 
-// Caller returns the transport used to reach the servers; strategy
-// drivers consume it.
-func (c *Cluster) Caller() transport.Caller { return c.tr }
+// Caller returns the transport clients reach the servers through (the
+// chaos middleware over the in-process transport); strategy drivers
+// consume it.
+func (c *Cluster) Caller() transport.Caller { return c.chaos }
+
+// Chaos returns the fault-injection middleware all traffic traverses,
+// for scenarios beyond the convenience methods below.
+func (c *Cluster) Chaos() *transport.Chaos { return c.chaos }
 
 // Node returns server i, for white-box inspection in tests and metrics.
 func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
@@ -54,12 +74,42 @@ func (c *Cluster) Fail(i int) { c.tr.SetDown(i, true) }
 // servers.
 func (c *Cluster) Recover(i int) { c.tr.SetDown(i, false) }
 
+// Restart brings server i back with a slow-start penalty: its next
+// slowCalls calls each incur extra latency, modeling a server that is
+// up but cold after a restart.
+func (c *Cluster) Restart(i, slowCalls int, extra time.Duration) {
+	c.chaos.SlowStart(i, slowCalls, extra)
+	c.tr.SetDown(i, false)
+}
+
 // RecoverAll brings every server back.
 func (c *Cluster) RecoverAll() {
 	for i := range c.nodes {
 		c.tr.SetDown(i, false)
 	}
 }
+
+// SetLatency injects a latency distribution (base plus uniform jitter
+// in [0, jitter)) on every call delivered to server i.
+func (c *Cluster) SetLatency(i int, base, jitter time.Duration) {
+	c.chaos.SetLatency(i, base, jitter)
+}
+
+// SetDropRate makes calls to server i fail with probability p before
+// delivery; such failures match transport.ErrServerDown, so clients
+// fail over (or retry, under a retrying lookup policy).
+func (c *Cluster) SetDropRate(i int, p float64) { c.chaos.SetDropRate(i, p) }
+
+// Partition severs the link between a and b in both directions; either
+// may be transport.ClientOrigin to cut clients off from a server.
+func (c *Cluster) Partition(a, b int) { c.chaos.Partition(a, b) }
+
+// Heal removes the partition between a and b.
+func (c *Cluster) Heal(a, b int) { c.chaos.Heal(a, b) }
+
+// HealAll removes every partition (it does not clear latency or drop
+// profiles; use the setters with zero values for that).
+func (c *Cluster) HealAll() { c.chaos.HealAll() }
 
 // Alive reports whether server i is operational.
 func (c *Cluster) Alive(i int) bool { return !c.tr.Down(i) }

@@ -59,6 +59,10 @@ type Service struct {
 	caller     transport.Caller
 	defaultCfg Config
 	classifier Classifier
+	policy     LookupPolicy
+	// lookupCaller is the transport lookups probe through: the raw
+	// caller, or a policyCaller adding retries/hedging per probe.
+	lookupCaller transport.Caller
 
 	mu      sync.Mutex
 	rng     *stats.RNG
@@ -93,6 +97,14 @@ func WithSeed(seed uint64) Option {
 	return func(s *Service) { s.rng = stats.NewRNG(seed) }
 }
 
+// WithLookupPolicy installs the resilience policy for the lookup path:
+// per-lookup deadline, bounded per-probe retries with exponential
+// backoff and jitter, and optional hedged requests. The zero policy
+// (the default) keeps the original single-attempt, no-deadline path.
+func WithLookupPolicy(p LookupPolicy) Option {
+	return func(s *Service) { s.policy = p }
+}
+
 // NewService returns a service over the given transport.
 func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
 	if caller == nil {
@@ -119,8 +131,15 @@ func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
 	if err := s.defaultCfg.Validate(caller.NumServers()); err != nil {
 		return nil, fmt.Errorf("core: default config: %w", err)
 	}
+	s.lookupCaller = s.caller
+	if s.policy.active() {
+		s.lookupCaller = &policyCaller{inner: s.caller, pol: s.policy, rng: s.rng.Split()}
+	}
 	return s, nil
 }
+
+// Policy returns the service's lookup resilience policy.
+func (s *Service) Policy() LookupPolicy { return s.policy }
 
 // ConfigFor returns the configuration that manages key.
 func (s *Service) ConfigFor(key string) Config {
@@ -198,8 +217,27 @@ func (s *Service) Delete(ctx context.Context, key string, v Entry) error {
 // partial_lookup(k, t). Fewer than t entries in the result is not an
 // error — check Result.Satisfied(t) — because a thin answer is an
 // expected condition under deletes and failures (Sec. 5.2).
+//
+// Under a LookupPolicy with a Timeout (or a caller-supplied deadline),
+// a lookup that runs out of time before gathering t entries returns
+// whatever it has plus a *PartialError matching ErrPartialResult, so
+// callers can distinguish "the system holds fewer than t entries" from
+// "the deadline cut the probe sequence short".
 func (s *Service) PartialLookup(ctx context.Context, key string, t int) (strategy.Result, error) {
-	return s.driverFor(key).PartialLookup(ctx, s.caller, key, t)
+	if s.policy.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.policy.Timeout)
+		defer cancel()
+	}
+	res, err := s.driverFor(key).PartialLookup(ctx, s.lookupCaller, key, t)
+	if ctx.Err() != nil && (err != nil || !res.Satisfied(t)) {
+		cause := err
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		return res, &PartialError{Key: key, Got: len(res.Entries), Want: t, Cause: cause}
+	}
+	return res, err
 }
 
 // CostFunc scores an entry for a preference-aware lookup; lower is

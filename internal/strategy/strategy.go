@@ -215,6 +215,9 @@ func (d *Driver) lookupPartition(ctx context.Context, c transport.Caller, key st
 func (d *Driver) lookupSingle(ctx context.Context, c transport.Caller, key string, t int) (Result, error) {
 	var res Result
 	for _, server := range d.perm(c.NumServers()) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		got, err := d.probe(ctx, c, server, key, t)
 		if errors.Is(err, transport.ErrServerDown) {
 			continue
@@ -238,6 +241,9 @@ func (d *Driver) lookupRandomOrder(ctx context.Context, c transport.Caller, key 
 	seen := make(map[entry.Entry]struct{}, t)
 	reached := false
 	for _, server := range d.perm(c.NumServers()) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		got, err := d.probe(ctx, c, server, key, t)
 		if errors.Is(err, transport.ErrServerDown) {
 			continue
@@ -273,6 +279,9 @@ func (d *Driver) lookupRoundRobin(ctx context.Context, c transport.Caller, key s
 	reached := false
 
 	probeServer := func(server int) (done bool, err error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		tried[server] = true
 		got, err := d.probe(ctx, c, server, key, t)
 		if errors.Is(err, transport.ErrServerDown) {
@@ -290,6 +299,9 @@ func (d *Driver) lookupRoundRobin(ctx context.Context, c transport.Caller, key s
 	// Find a random live starting server.
 	start := -1
 	for _, server := range d.perm(n) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		tried[server] = true
 		got, err := d.probe(ctx, c, server, key, t)
 		if errors.Is(err, transport.ErrServerDown) {

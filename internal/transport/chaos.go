@@ -1,0 +1,247 @@
+// Chaos is a fault-injecting middleware over any Caller. It sits
+// between the strategy drivers (or server nodes issuing peer traffic)
+// and the real transport, so the same fault scenarios run unchanged
+// over the in-process simulator and the TCP client: per-server latency
+// distributions, probabilistic call drops, slow-start penalties after a
+// restart, and pairwise network partitions.
+//
+// All randomness comes from one seeded stats.RNG, so a fault schedule
+// is fully reproducible: two Chaos instances with equal seeds over
+// equal call sequences inject exactly the same faults.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// ErrInjected identifies failures manufactured by the chaos middleware.
+// Every injected failure also matches ErrServerDown (via errors.Is), so
+// strategy drivers fail over to the next server in their probe order
+// exactly as they would for a genuinely dead server.
+var ErrInjected = errors.New("transport: injected fault")
+
+// injectedError is the concrete error for chaos-injected failures; it
+// matches both ErrInjected and ErrServerDown.
+type injectedError struct {
+	server int
+	reason string
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("transport: injected %s: server %d", e.reason, e.server)
+}
+
+func (e *injectedError) Is(target error) bool {
+	return target == ErrInjected || target == ErrServerDown
+}
+
+// ClientOrigin is the origin id for calls issued by clients (strategy
+// drivers) rather than by a server node. Partitions involving
+// ClientOrigin cut the client off from a server.
+const ClientOrigin = -1
+
+// Faults is the fault profile applied to calls targeting one server.
+// The zero value injects nothing.
+type Faults struct {
+	// Latency is a fixed delay added to every call.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// DropRate is the probability a call is dropped before delivery
+	// (the server never sees it); dropped calls fail with an error
+	// matching ErrInjected and ErrServerDown.
+	DropRate float64
+}
+
+// Chaos wraps an inner Caller with deterministic fault injection.
+// It implements Caller itself for client traffic (origin ClientOrigin);
+// use Origin to obtain per-server views for peer traffic so pairwise
+// partitions can tell callers apart.
+type Chaos struct {
+	inner Caller
+
+	mu        sync.Mutex
+	rng       *stats.RNG
+	faults    []Faults
+	slowLeft  []int           // remaining slow-start calls per server
+	slowExtra []time.Duration // slow-start latency penalty per server
+	cut       map[[2]int]bool // severed origin/target pairs, normalized
+}
+
+var _ Caller = (*Chaos)(nil)
+
+// NewChaos wraps inner with fault injection driven by rng. With no
+// faults configured it is a transparent pass-through that consumes no
+// randomness, so wrapping never perturbs seeded simulations.
+func NewChaos(inner Caller, rng *stats.RNG) *Chaos {
+	if inner == nil {
+		panic("transport: NewChaos requires an inner Caller")
+	}
+	if rng == nil {
+		panic("transport: NewChaos requires an RNG")
+	}
+	return &Chaos{
+		inner:     inner,
+		rng:       rng,
+		faults:    make([]Faults, inner.NumServers()),
+		slowLeft:  make([]int, inner.NumServers()),
+		slowExtra: make([]time.Duration, inner.NumServers()),
+		cut:       make(map[[2]int]bool),
+	}
+}
+
+// NumServers returns the inner transport's cluster size.
+func (c *Chaos) NumServers() int { return c.inner.NumServers() }
+
+// Call delivers msg as client traffic (origin ClientOrigin).
+func (c *Chaos) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	return c.call(ctx, ClientOrigin, server, msg)
+}
+
+// Origin returns a Caller view whose calls carry the given origin id,
+// for binding to server nodes: peer traffic from server i then respects
+// partitions between i and its targets.
+func (c *Chaos) Origin(id int) Caller { return &originCaller{chaos: c, origin: id} }
+
+type originCaller struct {
+	chaos  *Chaos
+	origin int
+}
+
+func (o *originCaller) NumServers() int { return o.chaos.NumServers() }
+
+func (o *originCaller) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	return o.chaos.call(ctx, o.origin, server, msg)
+}
+
+// SetFaults installs the fault profile for calls targeting one server.
+func (c *Chaos) SetFaults(server int, f Faults) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults[server] = f
+}
+
+// SetLatency sets the latency distribution for calls to one server:
+// a fixed base plus uniform jitter in [0, jitter).
+func (c *Chaos) SetLatency(server int, base, jitter time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults[server].Latency = base
+	c.faults[server].Jitter = jitter
+}
+
+// SetDropRate sets the probability that a call to one server is dropped
+// before delivery.
+func (c *Chaos) SetDropRate(server int, p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults[server].DropRate = p
+}
+
+// SlowStart penalizes the next calls calls to a server with extra
+// latency each, modeling a just-restarted server that is slow while it
+// warms caches and re-establishes connections.
+func (c *Chaos) SlowStart(server, calls int, extra time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slowLeft[server] = calls
+	c.slowExtra[server] = extra
+}
+
+// Partition severs the pair (a, b) in both directions; calls between
+// them fail with an error matching ErrInjected and ErrServerDown.
+// Either id may be ClientOrigin to cut the client off from a server.
+func (c *Chaos) Partition(a, b int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut[pairKey(a, b)] = true
+}
+
+// Heal removes the partition between a and b.
+func (c *Chaos) Heal(a, b int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cut, pairKey(a, b))
+}
+
+// HealAll removes every partition.
+func (c *Chaos) HealAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cut = make(map[[2]int]bool)
+}
+
+// Partitioned reports whether the pair (a, b) is severed.
+func (c *Chaos) Partitioned(a, b int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut[pairKey(a, b)]
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// call applies the configured faults, then delegates to the inner
+// transport. Fault decisions are drawn under the lock in call order, so
+// a single-goroutine simulation is bit-for-bit reproducible.
+func (c *Chaos) call(ctx context.Context, origin, server int, msg wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if server < 0 || server >= len(c.faults) {
+		return c.inner.Call(ctx, server, msg) // inner reports the range error
+	}
+
+	c.mu.Lock()
+	if c.cut[pairKey(origin, server)] {
+		c.mu.Unlock()
+		return nil, &injectedError{server: server, reason: "partition"}
+	}
+	f := c.faults[server]
+	delay := f.Latency
+	if f.Jitter > 0 {
+		delay += time.Duration(c.rng.Uint64N(uint64(f.Jitter)))
+	}
+	if c.slowLeft[server] > 0 {
+		c.slowLeft[server]--
+		delay += c.slowExtra[server]
+	}
+	dropped := f.DropRate > 0 && c.rng.Bool(f.DropRate)
+	c.mu.Unlock()
+
+	if delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+	if dropped {
+		return nil, &injectedError{server: server, reason: "drop"}
+	}
+	return c.inner.Call(ctx, server, msg)
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestFrameZeroLengthBoundary pins the agreement between the two frame
+// ends at the empty-payload boundary: ReadFrame rejects a zero-length
+// frame, and the writing side refuses to produce one, so no message can
+// be emitted that the peer will drop the connection over.
+func TestFrameZeroLengthBoundary(t *testing.T) {
+	if err := writeRawFrame(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("writeRawFrame accepted a zero-length payload")
+	}
+	if err := writeRawFrame(&bytes.Buffer{}, []byte{}); err == nil {
+		t.Fatal("writeRawFrame accepted an empty payload")
+	}
+
+	// A hand-built zero-length frame must be rejected by the reader.
+	_, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}))
+	if err == nil || !strings.Contains(err.Error(), "bad frame length") {
+		t.Fatalf("ReadFrame on zero-length frame: err = %v, want bad frame length", err)
+	}
+}
+
+// TestFrameMinimumPayloadRoundTrip round-trips the smallest message the
+// codec can produce (Ping encodes to exactly one byte — the kind), the
+// frame closest to the zero-length boundary.
+func TestFrameMinimumPayloadRoundTrip(t *testing.T) {
+	if got := len(wire.Encode(wire.Ping{})); got != 1 {
+		t.Fatalf("Ping encodes to %d bytes, want 1 (test premise)", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, wire.Ping{}); err != nil {
+		t.Fatalf("WriteFrame(Ping): %v", err)
+	}
+	if buf.Len() != 5 { // 4-byte header + 1-byte payload
+		t.Fatalf("framed Ping is %d bytes, want 5", buf.Len())
+	}
+	msg, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if _, ok := msg.(wire.Ping); !ok {
+		t.Fatalf("round trip returned %T, want wire.Ping", msg)
+	}
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Retry is a minimal retrying middleware for peer traffic: each call is
+// attempted up to a fixed budget, with a doubling delay between
+// attempts, retrying only failures that match ErrServerDown. Client
+// lookup traffic has a richer policy (jitter, hedging, deadlines) in
+// core.LookupPolicy; this wrapper exists for server daemons whose peer
+// RPCs should ride out transient drops without pulling in client code.
+type Retry struct {
+	inner    Caller
+	attempts int
+	backoff  time.Duration
+}
+
+var _ Caller = (*Retry)(nil)
+
+// NewRetry wraps inner so every call gets up to attempts tries with a
+// doubling backoff starting at base. Attempts below 1 mean 1.
+func NewRetry(inner Caller, attempts int, base time.Duration) *Retry {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retry{inner: inner, attempts: attempts, backoff: base}
+}
+
+// NumServers returns the inner transport's cluster size.
+func (r *Retry) NumServers() int { return r.inner.NumServers() }
+
+// Call delegates to the inner transport, retrying ErrServerDown
+// failures until the attempt budget or the context runs out.
+func (r *Retry) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	var lastErr error
+	delay := r.backoff
+	for a := 1; a <= r.attempts; a++ {
+		reply, err := r.inner.Call(ctx, server, msg)
+		if err == nil {
+			return reply, nil
+		}
+		if !errors.Is(err, ErrServerDown) {
+			return nil, err
+		}
+		lastErr = err
+		if a == r.attempts {
+			break
+		}
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, err
+		}
+		delay *= 2
+	}
+	return nil, lastErr
+}

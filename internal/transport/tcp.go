@@ -18,7 +18,17 @@ import (
 
 // WriteFrame writes one framed message to w.
 func WriteFrame(w io.Writer, msg wire.Message) error {
-	payload := wire.Encode(msg)
+	return writeRawFrame(w, wire.Encode(msg))
+}
+
+// writeRawFrame frames an encoded payload. It enforces the same bounds
+// ReadFrame does — in particular it rejects zero-length payloads, which
+// the reading side treats as a framing error (wire.Encode always emits
+// at least the kind byte, so a well-formed message can never hit this).
+func writeRawFrame(w io.Writer, payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("transport: refusing to write zero-length frame")
+	}
 	if len(payload) > wire.MaxPayload {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}

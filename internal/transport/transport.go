@@ -85,8 +85,13 @@ func (t *Inproc) Bind(server int, h Handler) {
 func (t *Inproc) NumServers() int { return len(t.handlers) }
 
 // Call dispatches msg to the server's handler, counting it as one
-// processed message. A down server returns ErrServerDown.
+// processed message. A down server returns ErrServerDown. An expired
+// or cancelled context fails before delivery, mirroring how a real
+// network client would abandon the request.
 func (t *Inproc) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if server < 0 || server >= len(t.handlers) {
 		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, len(t.handlers))
 	}
