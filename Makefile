@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -16,8 +16,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Formatting and vet checks, mirroring the CI lint job (CI additionally
+# runs staticcheck, which it installs itself).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Coverage with the same floor CI enforces (.github/coverage-floor).
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+	@floor=$$(cat .github/coverage-floor); \
+	total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' || { \
+		echo "coverage $$total% fell below the floor $$floor%"; exit 1; }
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:

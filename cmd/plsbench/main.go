@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run() error {
 		lookups  = flag.Int("lookups", 0, "override: lookups per placement")
 		updates  = flag.Int("updates", 0, "override: update events per dynamic run")
 		out      = flag.String("out", "", "also write the rendered tables to this file (e.g. results/availability.md)")
+		telOut   = flag.String("telemetry-out", "", "write a telemetry snapshot (per-experiment runs/durations, runtime stats) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -79,13 +81,42 @@ func run() error {
 		experiments = []bench.Experiment{e}
 	}
 
+	// Telemetry over the harness itself: experiments completed, wall
+	// clock per experiment, and runtime stats — snapshotted to
+	// -telemetry-out so CI can archive the perf trajectory per commit.
+	reg := telemetry.NewRegistry()
+	expCount := reg.NewCounter("bench.experiments")
+	expFailed := reg.NewCounter("bench.experiments_failed")
+	expDuration := reg.NewDurationHistogram("bench.experiment_duration", telemetry.DefaultLatencyBuckets)
+	telemetry.RegisterRuntimeMetrics(reg)
+	writeTelemetry := func() error {
+		if *telOut == "" {
+			return nil
+		}
+		data, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*telOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write -telemetry-out file: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *telOut)
+		return nil
+	}
+
 	var archive strings.Builder
 	for _, e := range experiments {
 		start := time.Now()
 		table, err := e.Run(fid, *seed)
+		expDuration.ObserveDuration(time.Since(start))
 		if err != nil {
+			expFailed.Inc()
+			if werr := writeTelemetry(); werr != nil {
+				fmt.Fprintln(os.Stderr, "plsbench:", werr)
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		expCount.Inc()
 		var rendered string
 		switch *format {
 		case "md":
@@ -106,5 +137,5 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *out)
 	}
-	return nil
+	return writeTelemetry()
 }

@@ -7,10 +7,15 @@
 //	plsctl -servers ...                 -scheme round -y 2 delete KEY v
 //	plsctl -servers ...                 -scheme round -y 2 lookup KEY t
 //	plsctl -servers ...                                  dump   KEY        # per-server contents
+//	plsctl stats ADMIN_ADDR                                                # fetch a node's telemetry snapshot
 //
 // The scheme flags must match the configuration the key was placed
 // with (the service is symmetric: any client carrying the same config
 // can update the key).
+//
+// stats fetches /metrics from a plsd -admin endpoint (host:port or a
+// full URL) and pretty-prints the snapshot; -stats-json dumps the raw
+// JSON instead.
 package main
 
 import (
@@ -18,13 +23,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -58,11 +67,21 @@ func run() error {
 		chaosLatency = flag.Duration("chaos-latency", 0, "fixed latency added to every call")
 		chaosJitter  = flag.Duration("chaos-jitter", 0, "uniform extra latency in [0, jitter)")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "RNG seed for the injected fault schedule")
+
+		// Client-side telemetry.
+		showTelemetry = flag.Bool("telemetry", false, "print this client's telemetry snapshot to stderr after the command")
+		statsJSON     = flag.Bool("stats-json", false, "stats: dump the raw JSON snapshot instead of pretty-printing")
 	)
 	flag.Parse()
 	args := flag.Args()
+	if len(args) >= 1 && args[0] == "stats" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: plsctl stats ADMIN_ADDR")
+		}
+		return runStats(args[1], *statsJSON)
+	}
 	if len(args) < 2 {
-		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...]")
+		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...] | stats ADMIN_ADDR")
 	}
 	verb, key := args[0], args[1]
 
@@ -70,7 +89,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client := transport.NewClient(addrs, transport.WithTimeout(*timeout))
+	reg := telemetry.NewRegistry()
+	tm := telemetry.NewTransportMetrics(reg, "transport", len(addrs))
+	lm := telemetry.NewLookupMetrics(reg)
+	client := transport.NewClient(addrs,
+		transport.WithTimeout(*timeout),
+		transport.WithClientMetrics(tm))
 	defer client.Close()
 	var caller transport.Caller = client
 	if *chaosDrop > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
@@ -84,6 +108,12 @@ func run() error {
 		}
 		caller = chaos
 	}
+	// Instrument above the chaos layer, so injected faults count as the
+	// per-server errors they simulate.
+	caller = transport.Instrument(caller, tm)
+	if *showTelemetry {
+		defer func() { reg.Snapshot().Format(os.Stderr) }()
+	}
 
 	cfg, err := cliutil.ParseScheme(*scheme, *x, *y, *seed)
 	if err != nil {
@@ -91,6 +121,7 @@ func run() error {
 	}
 	svc, err := core.NewService(caller,
 		core.WithDefaultConfig(cfg),
+		core.WithLookupMetrics(lm),
 		core.WithLookupPolicy(core.LookupPolicy{
 			Timeout:     *lookupTimeout,
 			MaxAttempts: *retries,
@@ -171,5 +202,38 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown verb %q", verb)
 	}
+	return nil
+}
+
+// runStats fetches a node's telemetry snapshot from its admin endpoint
+// and renders it.
+func runStats(addr string, raw bool) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/metrics"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if raw {
+		fmt.Println(strings.TrimSpace(string(body)))
+		return nil
+	}
+	snap, err := telemetry.ParseSnapshot(body)
+	if err != nil {
+		return err
+	}
+	snap.Format(os.Stdout)
 	return nil
 }

@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/node"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -38,6 +41,7 @@ func run() error {
 		id      = flag.Int("id", 0, "this server's index into the peer list")
 		peers   = flag.String("peers", "127.0.0.1:7001", "comma-separated ordered list of all server addresses (including this one)")
 		listen  = flag.String("listen", "", "listen address (default: the peer entry for -id)")
+		admin   = flag.String("admin", "", "admin/debug HTTP listen address serving /metrics, /healthz, and /debug/pprof/ (empty = disabled)")
 		seed    = flag.Uint64("seed", 0, "RNG seed for answer sampling (0 = derived from time)")
 		timeout = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
 		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
@@ -68,8 +72,22 @@ func run() error {
 		rngSeed = uint64(time.Now().UnixNano())
 	}
 
+	// Telemetry: per-op throughput and entry gauges on the node, call
+	// counters and latency histograms on outgoing peer traffic, runtime
+	// gauges — all served by the -admin endpoint and expvar.
+	reg := telemetry.NewRegistry()
+	tm := telemetry.NewTransportMetrics(reg, "peer", len(addrs))
+	nm := telemetry.NewNodeMetrics(reg, len(addrs))
+
 	nd := node.New(*id, stats.NewRNG(rngSeed))
-	peerClient := transport.NewClient(addrs, transport.WithTimeout(*timeout))
+	nd.Instrument(nm)
+	reg.NewGaugeFunc("node.entries", func() int64 { return int64(nd.EntryCount()) })
+	reg.NewGaugeFunc("node.keys", func() int64 { return int64(nd.KeyCount()) })
+	telemetry.RegisterRuntimeMetrics(reg)
+
+	peerClient := transport.NewClient(addrs,
+		transport.WithTimeout(*timeout),
+		transport.WithClientMetrics(tm))
 	defer peerClient.Close()
 	var peerCaller transport.Caller = peerClient
 	if *chaosDrop > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
@@ -86,6 +104,10 @@ func run() error {
 	if *retries > 1 {
 		peerCaller = transport.NewRetry(peerCaller, *retries, 25*time.Millisecond)
 	}
+	// The instrument layer sits on top so every attempt — including
+	// chaos-injected drops and retry attempts — lands in the per-server
+	// counters.
+	peerCaller = transport.Instrument(peerCaller, tm)
 	nd.Attach(peerCaller)
 
 	srv := transport.NewServer(nd)
@@ -95,6 +117,23 @@ func run() error {
 	}
 	defer srv.Close()
 	fmt.Printf("plsd: server %d/%d listening on %s\n", *id, len(addrs), bound)
+
+	if *admin != "" {
+		reg.PublishExpvar("pls")
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		defer adminLn.Close()
+		adminSrv := &http.Server{Handler: telemetry.AdminHandler(reg, nil)}
+		go func() {
+			// Serve returns ErrServerClosed-like errors once the
+			// listener closes at shutdown; nothing to report then.
+			_ = adminSrv.Serve(adminLn)
+		}()
+		defer adminSrv.Close()
+		fmt.Printf("plsd: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", adminLn.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

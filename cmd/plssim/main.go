@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -45,6 +46,7 @@ func run() error {
 		runs     = flag.Int("runs", 10, "independent runs to average")
 		lookups  = flag.Int("lookups", 500, "post-run lookups for satisfaction/unfairness")
 		seed     = flag.Uint64("seed", 1, "master seed")
+		telOut   = flag.String("telemetry-out", "", "write the final run's cluster telemetry snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -74,6 +76,14 @@ func run() error {
 			return err
 		}
 		cl := cluster.New(*n, rng.Split())
+		// A fresh registry per run (metric names are unique per
+		// registry); the last run's snapshot is what -telemetry-out
+		// persists.
+		var reg *telemetry.Registry
+		if *telOut != "" {
+			reg = telemetry.NewRegistry()
+			cl.EnableTelemetry(reg)
+		}
 		drv, err := strategy.New(runCfg, rng.Split())
 		if err != nil {
 			return err
@@ -121,6 +131,17 @@ func run() error {
 			return err
 		}
 		satisfied.Observe(cost.SatisfiedFraction * 100)
+
+		if reg != nil && run == *runs-1 {
+			data, err := reg.Snapshot().MarshalIndent()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*telOut, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write -telemetry-out file: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", *telOut)
+		}
 	}
 
 	fmt.Printf("plssim: %v on %d servers, steady h=%d, %d updates x %d runs (%s lifetimes)\n",

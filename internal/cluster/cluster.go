@@ -17,6 +17,7 @@ import (
 	"repro/internal/entry"
 	"repro/internal/node"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -25,6 +26,11 @@ type Cluster struct {
 	tr    *transport.Inproc
 	chaos *transport.Chaos
 	nodes []*node.Node
+
+	// caller is what clients probe through: the chaos middleware, or —
+	// after EnableTelemetry — an instrumented wrapper over it.
+	caller transport.Caller
+	tm     *telemetry.TransportMetrics
 }
 
 // New creates a cluster of n servers. Each node receives an independent
@@ -47,6 +53,7 @@ func New(n int, rng *stats.RNG) *Cluster {
 		c.nodes[i].Attach(c.chaos.Origin(i))
 		c.tr.Bind(i, c.nodes[i])
 	}
+	c.caller = c.chaos
 	return c
 }
 
@@ -54,9 +61,36 @@ func New(n int, rng *stats.RNG) *Cluster {
 func (c *Cluster) N() int { return len(c.nodes) }
 
 // Caller returns the transport clients reach the servers through (the
-// chaos middleware over the in-process transport); strategy drivers
-// consume it.
-func (c *Cluster) Caller() transport.Caller { return c.chaos }
+// chaos middleware over the in-process transport, instrumented once
+// EnableTelemetry has run); strategy drivers consume it.
+func (c *Cluster) Caller() transport.Caller { return c.caller }
+
+// EnableTelemetry instruments the cluster into reg: client traffic
+// through Caller records per-server calls, errors (including
+// chaos-injected faults), and latency histograms; each node counts its
+// per-op throughput; and per-server entry/key gauges expose live
+// storage and load skew (the runtime analogue of the paper's
+// unfairness input, Eq. 1). Call it before issuing traffic; it returns
+// the transport metrics for white-box assertions in tests.
+func (c *Cluster) EnableTelemetry(reg *telemetry.Registry) *telemetry.TransportMetrics {
+	if c.tm != nil {
+		return c.tm // already instrumented
+	}
+	n := len(c.nodes)
+	c.tm = telemetry.NewTransportMetrics(reg, "transport", n)
+	c.caller = transport.Instrument(c.chaos, c.tm)
+	nm := telemetry.NewNodeMetrics(reg, n)
+	for _, nd := range c.nodes {
+		nd.Instrument(nm)
+	}
+	reg.NewGaugeVecFunc("node.entries", n, func(i int) int64 {
+		return int64(c.nodes[i].EntryCount())
+	})
+	reg.NewGaugeVecFunc("node.keys", n, func(i int) int64 {
+		return int64(c.nodes[i].KeyCount())
+	})
+	return c.tm
+}
 
 // Chaos returns the fault-injection middleware all traffic traverses,
 // for scenarios beyond the convenience methods below.

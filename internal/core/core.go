@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/entry"
 	"repro/internal/stats"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -60,6 +62,7 @@ type Service struct {
 	defaultCfg Config
 	classifier Classifier
 	policy     LookupPolicy
+	metrics    *telemetry.LookupMetrics
 	// lookupCaller is the transport lookups probe through: the raw
 	// caller, or a policyCaller adding retries/hedging per probe.
 	lookupCaller transport.Caller
@@ -105,6 +108,15 @@ func WithLookupPolicy(p LookupPolicy) Option {
 	return func(s *Service) { s.policy = p }
 }
 
+// WithLookupMetrics instruments the lookup path: every PartialLookup
+// records its achieved answer size, probes issued, latency, and
+// satisfaction, and the resilience policy records retries, hedges
+// fired/won, and deadline expiries. The default (nil) records nothing
+// and adds no overhead.
+func WithLookupMetrics(m *telemetry.LookupMetrics) Option {
+	return func(s *Service) { s.metrics = m }
+}
+
 // NewService returns a service over the given transport.
 func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
 	if caller == nil {
@@ -133,7 +145,7 @@ func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
 	}
 	s.lookupCaller = s.caller
 	if s.policy.active() {
-		s.lookupCaller = &policyCaller{inner: s.caller, pol: s.policy, rng: s.rng.Split()}
+		s.lookupCaller = &policyCaller{inner: s.caller, pol: s.policy, m: s.metrics, rng: s.rng.Split()}
 	}
 	return s, nil
 }
@@ -224,6 +236,19 @@ func (s *Service) Delete(ctx context.Context, key string, v Entry) error {
 // callers can distinguish "the system holds fewer than t entries" from
 // "the deadline cut the probe sequence short".
 func (s *Service) PartialLookup(ctx context.Context, key string, t int) (strategy.Result, error) {
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	res, err := s.partialLookup(ctx, key, t)
+	if s.metrics != nil {
+		s.metrics.RecordLookup(len(res.Entries), t, res.Contacted, time.Since(start),
+			errors.Is(err, ErrPartialResult))
+	}
+	return res, err
+}
+
+func (s *Service) partialLookup(ctx context.Context, key string, t int) (strategy.Result, error) {
 	if s.policy.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.policy.Timeout)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -139,6 +140,7 @@ func (p LookupPolicy) Backoff(attempt int, u float64) time.Duration {
 type policyCaller struct {
 	inner transport.Caller
 	pol   LookupPolicy
+	m     *telemetry.LookupMetrics // nil when the service is uninstrumented
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -167,6 +169,9 @@ func (pc *policyCaller) Call(ctx context.Context, server int, msg wire.Message) 
 	attempts := pc.pol.attempts()
 	var lastErr error
 	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			pc.m.RecordRetry()
+		}
 		reply, err := pc.callOnce(ctx, server, msg)
 		if err == nil {
 			return reply, nil
@@ -191,17 +196,18 @@ func (pc *policyCaller) callOnce(ctx context.Context, server int, msg wire.Messa
 		return pc.inner.Call(ctx, server, msg)
 	}
 	type outcome struct {
-		reply wire.Message
-		err   error
+		reply  wire.Message
+		err    error
+		hedged bool
 	}
 	results := make(chan outcome, 2) // buffered: the losing call must not block
-	launch := func() {
+	launch := func(hedged bool) {
 		go func() {
 			reply, err := pc.inner.Call(ctx, server, msg)
-			results <- outcome{reply, err}
+			results <- outcome{reply, err, hedged}
 		}()
 	}
-	launch()
+	launch(false)
 	inFlight := 1
 	hedge := time.NewTimer(pc.pol.HedgeAfter)
 	defer hedge.Stop()
@@ -211,12 +217,16 @@ func (pc *policyCaller) callOnce(ctx context.Context, server int, msg wire.Messa
 		case r := <-results:
 			received++
 			if r.err == nil {
+				if r.hedged {
+					pc.m.RecordHedgeWon()
+				}
 				return r.reply, nil
 			}
 			lastErr = r.err
 		case <-hedge.C:
 			if inFlight == 1 {
-				launch()
+				pc.m.RecordHedgeFired()
+				launch(true)
 				inFlight = 2
 			}
 		case <-ctx.Done():

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/entry"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -27,6 +29,10 @@ import (
 // caller before serving traffic.
 type Node struct {
 	id int
+
+	// metrics, when set via Instrument, records per-op throughput.
+	// Atomic so instrumentation can be attached to a serving node.
+	metrics atomic.Pointer[telemetry.NodeMetrics]
 
 	mu    sync.Mutex
 	peers transport.Caller
@@ -92,6 +98,30 @@ func (n *Node) Attach(peers transport.Caller) {
 // ID returns the node's server id.
 func (n *Node) ID() int { return n.id }
 
+// Instrument attaches per-op telemetry: the node counts the Place /
+// Add / Delete / Lookup requests it handles against its server id. The
+// same NodeMetrics is shared by every node of a cluster, giving the
+// per-server throughput vectors a snapshot exposes.
+func (n *Node) Instrument(m *telemetry.NodeMetrics) { n.metrics.Store(m) }
+
+// recordOp counts one handled client-facing operation.
+func (n *Node) recordOp(msg wire.Message) {
+	m := n.metrics.Load()
+	if m == nil {
+		return
+	}
+	switch msg.(type) {
+	case wire.Place:
+		m.Places.At(n.id).Inc()
+	case wire.Add:
+		m.Adds.At(n.id).Inc()
+	case wire.Delete:
+		m.Deletes.At(n.id).Inc()
+	case wire.Lookup:
+		m.Lookups.At(n.id).Inc()
+	}
+}
+
 // state returns (creating if necessary) the key state, applying cfg on
 // first sight. Callers must hold n.mu.
 func (n *Node) state(key string, cfg wire.Config) *keyState {
@@ -114,6 +144,7 @@ func (n *Node) state(key string, cfg wire.Config) *keyState {
 // Nested peer calls (broadcasts, migrations) are issued with the node
 // lock released, so self-directed messages re-enter Handle safely.
 func (n *Node) Handle(ctx context.Context, msg wire.Message) wire.Message {
+	n.recordOp(msg)
 	switch m := msg.(type) {
 	case wire.Place:
 		return n.handlePlace(ctx, m)
@@ -713,6 +744,26 @@ func (n *Node) LocalLen(key string) int {
 		return 0
 	}
 	return ks.set.Len()
+}
+
+// EntryCount returns the total number of entries the node stores across
+// all keys: the per-server storage gauge from which live load skew (the
+// operational analogue of the paper's unfairness input) is computed.
+func (n *Node) EntryCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, ks := range n.keys {
+		total += ks.set.Len()
+	}
+	return total
+}
+
+// KeyCount returns the number of keys the node holds state for.
+func (n *Node) KeyCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.keys)
 }
 
 // SystemCount returns the node's local estimate of the number of entries

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// TransportMetrics groups the per-server metrics recorded on the call
+// path: every call, its latency, and its outcome, plus the TCP client's
+// connection-pool behavior (dials vs. checkouts of pooled connections,
+// and dial failures). All methods are nil-receiver safe so call sites
+// need no branching.
+type TransportMetrics struct {
+	// Calls counts attempts delivered to each server (retries and
+	// hedges each count: they cost the network and the server).
+	Calls *CounterVec
+	// Errors counts failed calls per server, whatever the cause:
+	// genuine failures, chaos-injected drops and partitions, and TCP
+	// dial failures.
+	Errors *CounterVec
+	// Latency is the per-server call latency distribution.
+	Latency *HistogramVec
+	// Dials and Reuses split the TCP client's connection checkouts:
+	// fresh dials vs. pooled-connection reuse.
+	Dials  *CounterVec
+	Reuses *CounterVec
+	// DialErrors counts dials that failed per server; each also counts
+	// in Errors so fault assertions need only one counter.
+	DialErrors *CounterVec
+}
+
+// NewTransportMetrics registers transport metrics for n servers under
+// prefix (e.g. "transport" or "peer").
+func NewTransportMetrics(r *Registry, prefix string, n int) *TransportMetrics {
+	return &TransportMetrics{
+		Calls:      r.NewCounterVec(prefix+".calls", n),
+		Errors:     r.NewCounterVec(prefix+".errors", n),
+		Latency:    r.NewDurationHistogramVec(prefix+".latency", n, DefaultLatencyBuckets),
+		Dials:      r.NewCounterVec(prefix+".dials", n),
+		Reuses:     r.NewCounterVec(prefix+".pool_reuse", n),
+		DialErrors: r.NewCounterVec(prefix+".dial_errors", n),
+	}
+}
+
+// RecordCall records one completed call attempt against a server.
+func (m *TransportMetrics) RecordCall(server int, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	m.Calls.At(server).Inc()
+	m.Latency.At(server).ObserveDuration(d)
+	if failed {
+		m.Errors.At(server).Inc()
+	}
+}
+
+// RecordDial records a connection checkout that had to dial. Failed
+// dials count against both DialErrors and the per-server Errors
+// counter: a dial failure is a failed interaction with that server.
+func (m *TransportMetrics) RecordDial(server int, failed bool) {
+	if m == nil {
+		return
+	}
+	m.Dials.At(server).Inc()
+	if failed {
+		m.DialErrors.At(server).Inc()
+		m.Errors.At(server).Inc()
+	}
+}
+
+// RecordReuse records a connection checkout served from the idle pool.
+func (m *TransportMetrics) RecordReuse(server int) {
+	if m == nil {
+		return
+	}
+	m.Reuses.At(server).Inc()
+}
+
+// LookupMetrics groups the client lookup path metrics recorded by
+// core.Service and core.LookupPolicy.
+type LookupMetrics struct {
+	// Lookups counts PartialLookup invocations; Satisfied those that
+	// met their target t, Unsatisfied those that returned thin answers,
+	// and DeadlineExpired those cut short by the policy deadline (the
+	// ErrPartialResult path).
+	Lookups         *Counter
+	Satisfied       *Counter
+	Unsatisfied     *Counter
+	DeadlineExpired *Counter
+	// Retries counts per-probe retry attempts beyond the first;
+	// HedgesFired counts hedged duplicates launched, HedgesWon those
+	// whose reply arrived first.
+	Retries     *Counter
+	HedgesFired *Counter
+	HedgesWon   *Counter
+	// AchievedT is the distribution of answer sizes actually returned
+	// (the operational achieved-t); Probes the servers contacted per
+	// lookup (the paper's client lookup cost, Sec. 4.2); Latency the
+	// end-to-end lookup latency.
+	AchievedT *Histogram
+	Probes    *Histogram
+	Latency   *Histogram
+}
+
+// NewLookupMetrics registers lookup metrics under "lookup.".
+func NewLookupMetrics(r *Registry) *LookupMetrics {
+	return &LookupMetrics{
+		Lookups:         r.NewCounter("lookup.total"),
+		Satisfied:       r.NewCounter("lookup.satisfied"),
+		Unsatisfied:     r.NewCounter("lookup.unsatisfied"),
+		DeadlineExpired: r.NewCounter("lookup.deadline_expired"),
+		Retries:         r.NewCounter("lookup.retries"),
+		HedgesFired:     r.NewCounter("lookup.hedges_fired"),
+		HedgesWon:       r.NewCounter("lookup.hedges_won"),
+		AchievedT:       r.NewHistogram("lookup.achieved_t", DefaultCountBuckets),
+		Probes:          r.NewHistogram("lookup.probes", DefaultCountBuckets),
+		Latency:         r.NewDurationHistogram("lookup.latency", DefaultLatencyBuckets),
+	}
+}
+
+// RecordLookup records the outcome of one PartialLookup: the answer
+// size achieved, probes issued, latency, and whether the deadline cut
+// it short.
+func (m *LookupMetrics) RecordLookup(achieved, target, probes int, d time.Duration, deadlineExpired bool) {
+	if m == nil {
+		return
+	}
+	m.Lookups.Inc()
+	m.AchievedT.Observe(int64(achieved))
+	m.Probes.Observe(int64(probes))
+	m.Latency.ObserveDuration(d)
+	if achieved >= target {
+		m.Satisfied.Inc()
+	} else {
+		m.Unsatisfied.Inc()
+	}
+	if deadlineExpired {
+		m.DeadlineExpired.Inc()
+	}
+}
+
+// RecordRetry counts one retry attempt beyond a probe's first try.
+func (m *LookupMetrics) RecordRetry() {
+	if m == nil {
+		return
+	}
+	m.Retries.Inc()
+}
+
+// RecordHedgeFired counts one hedged duplicate launched.
+func (m *LookupMetrics) RecordHedgeFired() {
+	if m == nil {
+		return
+	}
+	m.HedgesFired.Inc()
+}
+
+// RecordHedgeWon counts a hedge whose reply won the race against the
+// original request. Every won hedge was also fired, so HedgesWon is a
+// subset of HedgesFired.
+func (m *LookupMetrics) RecordHedgeWon() {
+	if m == nil {
+		return
+	}
+	m.HedgesWon.Inc()
+}
+
+// NodeMetrics groups the per-server operation throughput counters
+// recorded by node.Node as it handles protocol messages.
+type NodeMetrics struct {
+	Places  *CounterVec
+	Adds    *CounterVec
+	Deletes *CounterVec
+	Lookups *CounterVec
+}
+
+// NewNodeMetrics registers per-op node metrics for n servers under
+// "node.".
+func NewNodeMetrics(r *Registry, n int) *NodeMetrics {
+	return &NodeMetrics{
+		Places:  r.NewCounterVec("node.place", n),
+		Adds:    r.NewCounterVec("node.add", n),
+		Deletes: r.NewCounterVec("node.delete", n),
+		Lookups: r.NewCounterVec("node.lookup", n),
+	}
+}
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap
+// bytes, GC cycles) under "go.", evaluated at snapshot time.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.NewGaugeFunc("go.goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.NewGaugeFunc("go.heap_alloc_bytes", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	r.NewGaugeFunc("go.total_alloc_bytes", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.TotalAlloc)
+	})
+	r.NewGaugeFunc("go.num_gc", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.NumGC)
+	})
+}

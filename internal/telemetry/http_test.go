@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("hits").Add(9)
+	vec := reg.NewCounterVec("per", 2)
+	vec.At(1).Inc()
+
+	srv := httptest.NewServer(AdminHandler(reg, nil))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	snap, err := ParseSnapshot([]byte(body))
+	if err != nil {
+		t.Fatalf("/metrics did not parse: %v\n%s", err, body)
+	}
+	if snap.Counters["hits"] != 9 {
+		t.Fatalf("hits = %d, want 9", snap.Counters["hits"])
+	}
+	if got := snap.PerServer["per"]; len(got) != 2 || got[1] != 1 {
+		t.Fatalf("per = %v", got)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	code, _ = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+}
+
+func TestAdminHandlerUnhealthy(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(AdminHandler(reg, func() error {
+		return io.ErrClosedPipe
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "unhealthy") {
+		t.Fatalf("body = %q", body)
+	}
+}

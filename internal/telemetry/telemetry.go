@@ -1,0 +1,455 @@
+// Package telemetry provides the runtime observability layer: lock-cheap
+// counters, gauges, and fixed-bucket histograms built on sync/atomic,
+// plus a Registry that snapshots every registered metric to JSON and
+// expvar.
+//
+// The recording hot path (Counter.Inc, Histogram.Observe, Vec.At) is
+// allocation-free and takes no locks, so instrumentation can sit on the
+// per-call path of the transport without perturbing latency
+// measurements. The Registry mutex guards only registration and
+// snapshotting, which are rare.
+//
+// Metrics map onto the paper's evaluation metrics (Sec. 4) as their
+// live, operational analogues: per-server entry gauges give storage
+// cost and load skew (the unfairness input, Eq. 1), the probes-per-
+// lookup histogram is the client lookup cost (Sec. 4.2), and the
+// achieved-t histogram tracks satisfaction under failures (Sec. 4.4).
+// See DESIGN.md, "Runtime telemetry".
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug but are not rejected on
+// the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by a delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over int64 observations.
+// Bucket i counts observations v with v <= bounds[i] (and above
+// bounds[i-1]); one overflow bucket counts everything larger than the
+// last bound. Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds  []int64 // sorted ascending, immutable after construction
+	unit    string  // "ns" for durations, "" for plain values
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// newHistogram builds a histogram with the given bucket upper bounds.
+func newHistogram(bounds []int64, unit string) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram requires at least one bucket bound")
+	}
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{
+		bounds:  b,
+		unit:    unit,
+		buckets: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v; the overflow bucket is
+	// len(bounds).
+	i, j := 0, len(h.bounds)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if v <= h.bounds[m] {
+			j = m
+		} else {
+			i = m + 1
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// snapshot copies the histogram state. Buckets are read individually,
+// so a snapshot taken concurrently with writers is consistent only once
+// the writers quiesce; totals over completed recordings are exact.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Unit:    h.unit,
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]BucketSnapshot, 0, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue // keep snapshots small: empty buckets carry no information
+		}
+		bound := int64(-1) // -1 marks the overflow bucket
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: bound, Count: n})
+	}
+	return s
+}
+
+// DefaultLatencyBuckets spans 100µs to 5m in roughly 1-2.5-5 steps,
+// covering in-process calls (sub-millisecond) through chaos-injected
+// delays and whole benchmark runs.
+var DefaultLatencyBuckets = []int64{
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
+	int64(30 * time.Second),
+	int64(time.Minute),
+	int64(5 * time.Minute),
+}
+
+// DefaultCountBuckets suits small-integer distributions: achieved-t,
+// probes per lookup, entries per answer.
+var DefaultCountBuckets = []int64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024}
+
+// CounterVec is a dense vector of counters indexed by server id,
+// pre-allocated so the hot path never touches a map.
+type CounterVec struct {
+	cs      []Counter
+	discard Counter // sink for out-of-range ids (e.g. transport.ClientOrigin)
+}
+
+// NewCounterVecStandalone returns an unregistered vector, for tests and
+// ad-hoc aggregation. Registered vectors come from Registry.NewCounterVec.
+func NewCounterVecStandalone(n int) *CounterVec {
+	return &CounterVec{cs: make([]Counter, n)}
+}
+
+// At returns the counter for index i. Out-of-range indices return a
+// shared discard counter, so callers on the hot path need no bounds
+// branching of their own.
+func (v *CounterVec) At(i int) *Counter {
+	if i < 0 || i >= len(v.cs) {
+		return &v.discard
+	}
+	return &v.cs[i]
+}
+
+// Len returns the vector length.
+func (v *CounterVec) Len() int { return len(v.cs) }
+
+// Values returns a copy of the per-index counts.
+func (v *CounterVec) Values() []int64 {
+	out := make([]int64, len(v.cs))
+	for i := range v.cs {
+		out[i] = v.cs[i].Value()
+	}
+	return out
+}
+
+// Total returns the sum over all indices.
+func (v *CounterVec) Total() int64 {
+	var t int64
+	for i := range v.cs {
+		t += v.cs[i].Value()
+	}
+	return t
+}
+
+// HistogramVec is a dense vector of histograms indexed by server id.
+type HistogramVec struct {
+	hs      []*Histogram
+	discard *Histogram
+}
+
+func newHistogramVec(n int, bounds []int64, unit string) *HistogramVec {
+	v := &HistogramVec{hs: make([]*Histogram, n), discard: newHistogram(bounds, unit)}
+	for i := range v.hs {
+		v.hs[i] = newHistogram(bounds, unit)
+	}
+	return v
+}
+
+// At returns the histogram for index i (a discard histogram when out of
+// range).
+func (v *HistogramVec) At(i int) *Histogram {
+	if i < 0 || i >= len(v.hs) {
+		return v.discard
+	}
+	return v.hs[i]
+}
+
+// Len returns the vector length.
+func (v *HistogramVec) Len() int { return len(v.hs) }
+
+// gaugeVecFunc evaluates a per-index gauge at snapshot time.
+type gaugeVecFunc struct {
+	n  int
+	fn func(i int) int64
+}
+
+// Registry names and snapshots a set of metrics. All New* methods panic
+// on duplicate names — metric names are static program identifiers, so
+// a collision is a programming error, not a runtime condition.
+type Registry struct {
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	gaugeFuncs    map[string]func() int64
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	histogramVecs map[string]*HistogramVec
+	gaugeVecFuncs map[string]gaugeVecFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		gaugeFuncs:    make(map[string]func() int64),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		histogramVecs: make(map[string]*HistogramVec),
+		gaugeVecFuncs: make(map[string]gaugeVecFunc),
+	}
+}
+
+func (r *Registry) checkName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.gaugeFuncs[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.counterVecs[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.histogramVecs[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	if _, ok := r.gaugeVecFuncs[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// NewGauge registers and returns a settable gauge.
+func (r *Registry) NewGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// NewGaugeFunc registers a gauge evaluated at snapshot time (e.g. a
+// node's live entry count).
+func (r *Registry) NewGaugeFunc(name string, fn func() int64) {
+	if fn == nil {
+		panic("telemetry: nil gauge func")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	r.gaugeFuncs[name] = fn
+}
+
+// NewHistogram registers and returns a value histogram with the given
+// bucket upper bounds.
+func (r *Registry) NewHistogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	h := newHistogram(bounds, "")
+	r.histograms[name] = h
+	return h
+}
+
+// NewDurationHistogram registers and returns a histogram of durations in
+// nanoseconds; snapshots carry unit "ns" so formatters render durations.
+func (r *Registry) NewDurationHistogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	h := newHistogram(bounds, "ns")
+	r.histograms[name] = h
+	return h
+}
+
+// NewCounterVec registers and returns a per-server counter vector of
+// length n.
+func (r *Registry) NewCounterVec(name string, n int) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	v := NewCounterVecStandalone(n)
+	r.counterVecs[name] = v
+	return v
+}
+
+// NewDurationHistogramVec registers and returns a per-server vector of
+// duration histograms.
+func (r *Registry) NewDurationHistogramVec(name string, n int, bounds []int64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	v := newHistogramVec(n, bounds, "ns")
+	r.histogramVecs[name] = v
+	return v
+}
+
+// NewGaugeVecFunc registers a per-server gauge vector evaluated at
+// snapshot time: fn(i) is called for each index in [0, n).
+func (r *Registry) NewGaugeVecFunc(name string, n int, fn func(i int) int64) {
+	if fn == nil {
+		panic("telemetry: nil gauge vec func")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	r.gaugeVecFuncs[name] = gaugeVecFunc{n: n, fn: fn}
+}
+
+// Snapshot captures every registered metric. It is safe to call
+// concurrently with recording; counts recorded before the snapshot
+// began are always included.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{TakenAt: time.Now().UTC()}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges)+len(r.gaugeFuncs) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+		for name, fn := range r.gaugeFuncs {
+			s.Gauges[name] = fn()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.counterVecs)+len(r.gaugeVecFuncs) > 0 {
+		s.PerServer = make(map[string][]int64, len(r.counterVecs)+len(r.gaugeVecFuncs))
+		for name, v := range r.counterVecs {
+			s.PerServer[name] = v.Values()
+		}
+		for name, gv := range r.gaugeVecFuncs {
+			vals := make([]int64, gv.n)
+			for i := range vals {
+				vals[i] = gv.fn(i)
+			}
+			s.PerServer[name] = vals
+		}
+	}
+	if len(r.histogramVecs) > 0 {
+		s.PerServerHistograms = make(map[string][]HistogramSnapshot, len(r.histogramVecs))
+		for name, v := range r.histogramVecs {
+			hs := make([]HistogramSnapshot, len(v.hs))
+			for i, h := range v.hs {
+				hs[i] = h.snapshot()
+			}
+			s.PerServerHistograms[name] = hs
+		}
+	}
+	return s
+}
+
+// expvarPublished tracks names already handed to expvar, which panics
+// on duplicates; re-publishing (tests, restarted services in one
+// process) is made idempotent instead.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = make(map[string]bool)
+)
+
+// PublishExpvar exposes the registry's snapshot as one expvar variable,
+// visible on /debug/vars of any expvar-serving mux. Publishing the same
+// name twice (even from different registries) keeps the first binding.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Instrumented is a telemetry middleware over any Caller: it records
+// every call attempt, its latency, and its outcome into per-server
+// counters and histograms. It composes with Chaos (wrap the chaos layer
+// to count injected faults as the per-server errors they simulate) and
+// with the retry/hedging policy above it (each attempt the policy
+// issues is a distinct recorded call, because each costs the network
+// and the server).
+//
+// The recording path is allocation-free, so instrumenting a transport
+// does not perturb the latencies it measures.
+type Instrumented struct {
+	inner Caller
+	m     *telemetry.TransportMetrics
+}
+
+var _ Caller = (*Instrumented)(nil)
+
+// Instrument wraps inner so every call is recorded into m. A nil m
+// returns inner unchanged.
+func Instrument(inner Caller, m *telemetry.TransportMetrics) Caller {
+	if inner == nil {
+		panic("transport: Instrument requires an inner Caller")
+	}
+	if m == nil {
+		return inner
+	}
+	return &Instrumented{inner: inner, m: m}
+}
+
+// NumServers returns the inner transport's cluster size.
+func (t *Instrumented) NumServers() int { return t.inner.NumServers() }
+
+// Call delegates to the inner transport, timing the attempt and
+// recording its outcome against the target server.
+func (t *Instrumented) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	start := time.Now()
+	reply, err := t.inner.Call(ctx, server, msg)
+	t.m.RecordCall(server, time.Since(start), err != nil)
+	return reply, err
+}

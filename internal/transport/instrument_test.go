@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+func newTransportMetrics(n int) *telemetry.TransportMetrics {
+	return telemetry.NewTransportMetrics(telemetry.NewRegistry(), "transport", n)
+}
+
+func TestInstrumentRecordsCallsAndErrors(t *testing.T) {
+	tr := NewInproc(3)
+	for i := 0; i < 3; i++ {
+		tr.Bind(i, lookupEcho{})
+	}
+	tm := newTransportMetrics(3)
+	caller := Instrument(tr, tm)
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		if _, err := caller.Call(ctx, 1, wire.Ping{}); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	tr.SetDown(2, true)
+	for i := 0; i < 3; i++ {
+		if _, err := caller.Call(ctx, 2, wire.Ping{}); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("Call to down server = %v, want ErrServerDown", err)
+		}
+	}
+
+	if got := tm.Calls.Values(); got[0] != 0 || got[1] != 5 || got[2] != 3 {
+		t.Fatalf("calls = %v, want [0 5 3]", got)
+	}
+	if got := tm.Errors.Values(); got[0] != 0 || got[1] != 0 || got[2] != 3 {
+		t.Fatalf("errors = %v, want [0 0 3]", got)
+	}
+	if got := tm.Latency.At(1).Count(); got != 5 {
+		t.Fatalf("latency count = %d, want 5", got)
+	}
+}
+
+// TestInstrumentOverChaosCountsInjectedFaults is the acceptance
+// criterion: a chaos-injected drop is visible as an incremented
+// per-server error counter in the snapshot.
+func TestInstrumentOverChaosCountsInjectedFaults(t *testing.T) {
+	tr := NewInproc(2)
+	for i := 0; i < 2; i++ {
+		tr.Bind(i, lookupEcho{})
+	}
+	chaos := NewChaos(tr, stats.NewRNG(7))
+	chaos.SetDropRate(0, 1)
+	tm := newTransportMetrics(2)
+	caller := Instrument(chaos, tm)
+	ctx := context.Background()
+
+	const attempts = 4
+	for i := 0; i < attempts; i++ {
+		if _, err := caller.Call(ctx, 0, wire.Ping{}); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("dropped call = %v, want ErrServerDown", err)
+		}
+		if _, err := caller.Call(ctx, 1, wire.Ping{}); err != nil {
+			t.Fatalf("healthy call: %v", err)
+		}
+	}
+
+	if got := tm.Errors.At(0).Value(); got != attempts {
+		t.Fatalf("server-0 errors = %d, want %d (every drop must count)", got, attempts)
+	}
+	if got := tm.Errors.At(1).Value(); got != 0 {
+		t.Fatalf("server-1 errors = %d, want 0", got)
+	}
+	if got := tm.Calls.At(0).Value(); got != attempts {
+		t.Fatalf("server-0 calls = %d, want %d", got, attempts)
+	}
+}
+
+func TestClientRecordsDialsAndReuse(t *testing.T) {
+	addr, _ := startServer(t)
+	tm := newTransportMetrics(1)
+	client := NewClient([]string{addr}, WithClientMetrics(tm))
+	defer client.Close()
+	ctx := context.Background()
+
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		if _, err := client.Call(ctx, 0, wire.Ping{}); err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+	}
+
+	// Sequential calls dial once, then reuse the pooled connection.
+	if got := tm.Dials.At(0).Value(); got != 1 {
+		t.Fatalf("dials = %d, want 1", got)
+	}
+	if got := tm.Reuses.At(0).Value(); got != calls-1 {
+		t.Fatalf("reuses = %d, want %d", got, calls-1)
+	}
+	if got := tm.DialErrors.At(0).Value(); got != 0 {
+		t.Fatalf("dial errors = %d, want 0", got)
+	}
+}
+
+func TestClientDialFailureCountsAsServerError(t *testing.T) {
+	// Reserve an address and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	tm := newTransportMetrics(1)
+	client := NewClient([]string{addr},
+		WithTimeout(200*time.Millisecond),
+		WithClientMetrics(tm))
+	defer client.Close()
+
+	if _, err := client.Call(context.Background(), 0, wire.Ping{}); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("Call to dead addr = %v, want ErrServerDown", err)
+	}
+
+	if got := tm.Dials.At(0).Value(); got != 1 {
+		t.Fatalf("dials = %d, want 1", got)
+	}
+	if got := tm.DialErrors.At(0).Value(); got != 1 {
+		t.Fatalf("dial errors = %d, want 1", got)
+	}
+	if got := tm.Errors.At(0).Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1 (dial failure must count against the server)", got)
+	}
+}
+
+// TestInstrumentAndClientDoNotDoubleCount wires the full production
+// stack — Instrument over a metered Client — and checks the two layers
+// keep disjoint responsibilities on a shared metrics bundle.
+func TestInstrumentAndClientDoNotDoubleCount(t *testing.T) {
+	addr, _ := startServer(t)
+	tm := newTransportMetrics(1)
+	client := NewClient([]string{addr}, WithClientMetrics(tm))
+	defer client.Close()
+	caller := Instrument(client, tm)
+	ctx := context.Background()
+
+	const calls = 4
+	for i := 0; i < calls; i++ {
+		if _, err := caller.Call(ctx, 0, wire.Ping{}); err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+	}
+
+	if got := tm.Calls.At(0).Value(); got != calls {
+		t.Fatalf("calls = %d, want %d", got, calls)
+	}
+	if dials, reuses := tm.Dials.At(0).Value(), tm.Reuses.At(0).Value(); dials+reuses != calls {
+		t.Fatalf("dials(%d)+reuses(%d) = %d, want %d (one checkout per call)",
+			dials, reuses, dials+reuses, calls)
+	}
+	if got := tm.Errors.At(0).Value(); got != 0 {
+		t.Fatalf("errors = %d, want 0", got)
+	}
+}
+
+func TestInstrumentNilMetricsReturnsInner(t *testing.T) {
+	tr := NewInproc(1)
+	if got := Instrument(tr, nil); got != Caller(tr) {
+		t.Fatalf("Instrument(inner, nil) = %T, want the inner caller", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -177,6 +178,7 @@ func (s *Server) Close() error {
 type Client struct {
 	addrs   []string
 	timeout time.Duration
+	metrics *telemetry.TransportMetrics
 
 	mu     sync.Mutex
 	idle   [][]net.Conn
@@ -194,6 +196,15 @@ type ClientOption func(*Client)
 // WithTimeout sets the per-call I/O deadline (default 5s).
 func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
+}
+
+// WithClientMetrics records the connection pool's checkout behavior
+// into m: fresh dials vs. pooled reuse per server, with failed dials
+// counting against the per-server error counter. Call-level metrics
+// (calls, latency, call errors) belong to the Instrument middleware,
+// which composes over the Client without double counting.
+func WithClientMetrics(m *telemetry.TransportMetrics) ClientOption {
+	return func(c *Client) { c.metrics = m }
 }
 
 // NewClient returns a Caller that treats addrs[i] as server i.
@@ -251,13 +262,16 @@ func (c *Client) checkout(ctx context.Context, server int) (net.Conn, error) {
 		conn := c.idle[server][n-1]
 		c.idle[server] = c.idle[server][:n-1]
 		c.mu.Unlock()
+		c.metrics.RecordReuse(server)
 		return conn, nil
 	}
 	c.mu.Unlock()
 	var d net.Dialer
 	dialCtx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
-	return d.DialContext(dialCtx, "tcp", c.addrs[server])
+	conn, err := d.DialContext(dialCtx, "tcp", c.addrs[server])
+	c.metrics.RecordDial(server, err != nil)
+	return conn, err
 }
 
 // checkin returns a healthy connection to the pool.
