@@ -5,6 +5,12 @@
 //
 //	plsbench [-exp table1|fig4|...|table2|all] [-fidelity quick|default|full]
 //	         [-format text|md] [-seed N]
+//	plsbench -node-bench BENCH_node.json [-node-bench-window 2s]
+//
+// The second form skips the paper experiments and instead measures one
+// node's lookup throughput under the sharded store versus a
+// coarse-lock baseline, plus LookupBatch amortization, writing the
+// numbers as machine-readable JSON.
 //
 // At -fidelity full the runner approaches the paper's stated fidelity
 // (5000 runs per data point) and can take many minutes; default keeps
@@ -41,8 +47,14 @@ func run() error {
 		updates  = flag.Int("updates", 0, "override: update events per dynamic run")
 		out      = flag.String("out", "", "also write the rendered tables to this file (e.g. results/availability.md)")
 		telOut   = flag.String("telemetry-out", "", "write a telemetry snapshot (per-experiment runs/durations, runtime stats) as JSON to this file")
+		nodeOut  = flag.String("node-bench", "", "run the node lock micro-benchmark instead of experiments and write BENCH_node.json-style output to this file")
+		nodeWin  = flag.Duration("node-bench-window", 2*time.Second, "measurement window per node-bench configuration")
 	)
 	flag.Parse()
+
+	if *nodeOut != "" {
+		return runNodeBench(*nodeOut, *nodeWin)
+	}
 
 	var fid bench.Fidelity
 	switch *fidelity {

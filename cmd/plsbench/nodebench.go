@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Node micro-benchmark (-node-bench): measures one node's partial-lookup
+// throughput under the sharded copy-on-write store, the same workload
+// forced through a single global lock (the pre-refactor node
+// architecture), and the LookupBatch amortization, then writes the
+// numbers as machine-readable JSON (BENCH_node.json) so CI can track
+// the lock refactor's effect per commit.
+
+const (
+	nodeBenchKeys    = 64
+	nodeBenchEntries = 200
+	nodeBenchT       = 10
+)
+
+type lockStats struct {
+	// Ops is the number of lookups completed in the measurement window.
+	Ops int64 `json:"ops"`
+	// OpsPerSec is the sustained lookup throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// P50Micros / P99Micros are per-lookup latency percentiles.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+type batchStats struct {
+	// BatchSize is the number of keys per LookupBatch envelope.
+	BatchSize int `json:"batch_size"`
+	// Batches is the number of envelopes completed.
+	Batches int64 `json:"batches"`
+	// KeysPerSec is per-key throughput through the batch path.
+	KeysPerSec float64 `json:"keys_per_sec"`
+	// PerKeyMicros is the amortized per-key cost inside a batch;
+	// SingleKeyMicros is the measured cost of a standalone lookup
+	// (the sharded run's mean), for comparison.
+	PerKeyMicros    float64 `json:"per_key_us"`
+	SingleKeyMicros float64 `json:"single_key_us"`
+	// Amortization is SingleKeyMicros / PerKeyMicros: how many times
+	// cheaper a key is when it rides a batch envelope.
+	Amortization float64 `json:"amortization"`
+}
+
+type nodeBenchReport struct {
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
+	Keys          int     `json:"keys"`
+	EntriesPerKey int     `json:"entries_per_key"`
+	LookupT       int     `json:"lookup_t"`
+	WindowSec     float64 `json:"window_sec"`
+	// Sharded is the refactored node: striped-lock store, copy-on-write
+	// snapshots. Coarse is the identical workload serialized behind one
+	// global mutex — the pre-refactor architecture, measured live so the
+	// comparison holds on any machine.
+	Sharded lockStats `json:"sharded"`
+	Coarse  lockStats `json:"coarse"`
+	// ShardedOverCoarse is the throughput ratio (>1 means the refactor
+	// wins). Meaningful parallel scaling needs NumCPU > 1; on a single
+	// hardware thread the two architectures are expected to tie, since
+	// lock contention only costs when another core could have run.
+	ShardedOverCoarse float64    `json:"sharded_over_coarse"`
+	Batch             batchStats `json:"batch"`
+}
+
+// serialBenchCaller serializes every call behind one mutex, recreating
+// the coarse-lock node the store refactor replaced.
+type serialBenchCaller struct {
+	mu    sync.Mutex
+	inner transport.Caller
+}
+
+func (s *serialBenchCaller) NumServers() int { return s.inner.NumServers() }
+
+func (s *serialBenchCaller) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Call(ctx, server, msg)
+}
+
+func nodeBenchKey(k int) string { return fmt.Sprintf("bench-k%d", k) }
+
+// newNodeBenchCluster places the benchmark working set on a fresh
+// single-node cluster.
+func newNodeBenchCluster() (transport.Caller, error) {
+	cl := cluster.New(1, stats.NewRNG(1))
+	ctx := context.Background()
+	entries := make([]string, nodeBenchEntries)
+	for i := range entries {
+		entries[i] = fmt.Sprintf("v%d", i+1)
+	}
+	for k := 0; k < nodeBenchKeys; k++ {
+		reply, err := cl.Caller().Call(ctx, 0, wire.Place{
+			Key:     nodeBenchKey(k),
+			Config:  wire.Config{Scheme: wire.FullReplication},
+			Entries: entries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ack, ok := reply.(wire.Ack); !ok || ack.Err != "" {
+			return nil, fmt.Errorf("node-bench place: %#v", reply)
+		}
+	}
+	return cl.Caller(), nil
+}
+
+// hammerLookups runs GOMAXPROCS workers issuing single-key lookups
+// against c for the window and returns throughput plus latency
+// percentiles.
+func hammerLookups(c transport.Caller, window time.Duration) (lockStats, error) {
+	workers := runtime.GOMAXPROCS(0)
+	ctx := context.Background()
+	deadline := time.Now().Add(window)
+	lats := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := w
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				reply, err := c.Call(ctx, 0, wire.Lookup{Key: nodeBenchKey(k % nodeBenchKeys), T: nodeBenchT})
+				lats[w] = append(lats[w], time.Since(start))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if lr, ok := reply.(wire.LookupReply); !ok || len(lr.Entries) != nodeBenchT {
+					errs[w] = fmt.Errorf("bad lookup reply %#v", reply)
+					return
+				}
+				k++
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return lockStats{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return lockStats{}, fmt.Errorf("node-bench window too short: no lookups completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Microsecond)
+	}
+	return lockStats{
+		Ops:       int64(len(all)),
+		OpsPerSec: float64(len(all)) / window.Seconds(),
+		P50Micros: pct(0.50),
+		P99Micros: pct(0.99),
+	}, nil
+}
+
+// hammerBatches issues full-working-set LookupBatch envelopes for the
+// window and derives the amortized per-key cost.
+func hammerBatches(c transport.Caller, window time.Duration, singleKeyMicros float64) (batchStats, error) {
+	ctx := context.Background()
+	items := make([]wire.Lookup, nodeBenchKeys)
+	for k := range items {
+		items[k] = wire.Lookup{Key: nodeBenchKey(k), T: nodeBenchT}
+	}
+	deadline := time.Now().Add(window)
+	var batches int64
+	for time.Now().Before(deadline) {
+		reply, err := c.Call(ctx, 0, wire.LookupBatch{Items: items})
+		if err != nil {
+			return batchStats{}, err
+		}
+		lbr, ok := reply.(wire.LookupBatchReply)
+		if !ok || len(lbr.Replies) != nodeBenchKeys {
+			return batchStats{}, fmt.Errorf("bad batch reply %#v", reply)
+		}
+		batches++
+	}
+	if batches == 0 {
+		return batchStats{}, fmt.Errorf("node-bench window too short: no batches completed")
+	}
+	keys := batches * nodeBenchKeys
+	keysPerSec := float64(keys) / window.Seconds()
+	perKey := 1e6 / keysPerSec
+	return batchStats{
+		BatchSize:       nodeBenchKeys,
+		Batches:         batches,
+		KeysPerSec:      keysPerSec,
+		PerKeyMicros:    perKey,
+		SingleKeyMicros: singleKeyMicros,
+		Amortization:    singleKeyMicros / perKey,
+	}, nil
+}
+
+// runNodeBench executes the full micro-benchmark and writes the JSON
+// report to path.
+func runNodeBench(path string, window time.Duration) error {
+	report := nodeBenchReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Keys:          nodeBenchKeys,
+		EntriesPerKey: nodeBenchEntries,
+		LookupT:       nodeBenchT,
+		WindowSec:     window.Seconds(),
+	}
+
+	sharded, err := newNodeBenchCluster()
+	if err != nil {
+		return err
+	}
+	report.Sharded, err = hammerLookups(sharded, window)
+	if err != nil {
+		return fmt.Errorf("node-bench sharded: %w", err)
+	}
+
+	coarseInner, err := newNodeBenchCluster()
+	if err != nil {
+		return err
+	}
+	report.Coarse, err = hammerLookups(&serialBenchCaller{inner: coarseInner}, window)
+	if err != nil {
+		return fmt.Errorf("node-bench coarse: %w", err)
+	}
+	report.ShardedOverCoarse = report.Sharded.OpsPerSec / report.Coarse.OpsPerSec
+
+	singleKeyMicros := 1e6 / report.Sharded.OpsPerSec * float64(runtime.GOMAXPROCS(0))
+	report.Batch, err = hammerBatches(sharded, window, singleKeyMicros)
+	if err != nil {
+		return fmt.Errorf("node-bench batch: %w", err)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write -node-bench file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	fmt.Printf("node bench: sharded %.0f ops/s (p99 %.1fus) vs coarse %.0f ops/s (p99 %.1fus), ratio %.2fx; batch %.0f keys/s (%.2fx amortization) at GOMAXPROCS=%d\n",
+		report.Sharded.OpsPerSec, report.Sharded.P99Micros,
+		report.Coarse.OpsPerSec, report.Coarse.P99Micros,
+		report.ShardedOverCoarse,
+		report.Batch.KeysPerSec, report.Batch.Amortization,
+		report.GOMAXPROCS)
+	return nil
+}

@@ -9,6 +9,15 @@
 //	plsctl -servers ...                                  dump   KEY        # per-server contents
 //	plsctl stats ADMIN_ADDR                                                # fetch a node's telemetry snapshot
 //
+// The multi-key verbs take many keys per invocation and ship them in
+// the wire batch envelopes (PlaceBatch / AddBatch / LookupBatch), so a
+// whole working set costs one round trip per route instead of one per
+// key:
+//
+//	plsctl -servers ... -scheme randomserver -x 10 mplace KEY1=v1,v2,v3 KEY2=v4,v5 ...
+//	plsctl -servers ... -scheme randomserver -x 10 madd   KEY1=v9 KEY2=v10 ...
+//	plsctl -servers ... -scheme randomserver -x 10 mlookup T KEY1 KEY2 ...
+//
 // The scheme flags must match the configuration the key was placed
 // with (the service is symmetric: any client carrying the same config
 // can update the key).
@@ -81,7 +90,7 @@ func run() error {
 		return runStats(args[1], *statsJSON)
 	}
 	if len(args) < 2 {
-		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...] | stats ADMIN_ADDR")
+		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...] | mplace|madd|mlookup ... | stats ADMIN_ADDR")
 	}
 	verb, key := args[0], args[1]
 
@@ -184,6 +193,77 @@ func run() error {
 			key, t, len(res.Entries), res.Contacted, status)
 		for _, v := range res.Entries {
 			fmt.Println(" ", v)
+		}
+	case "mplace":
+		items := make([]core.PlaceItem, 0, len(args)-1)
+		for _, spec := range args[1:] {
+			k, list, ok := strings.Cut(spec, "=")
+			if !ok || k == "" {
+				return fmt.Errorf("mplace: spec %q is not KEY=v1,v2,...", spec)
+			}
+			var entries []core.Entry
+			for _, v := range strings.Split(list, ",") {
+				if v != "" {
+					entries = append(entries, core.Entry(v))
+				}
+			}
+			items = append(items, core.PlaceItem{Key: k, Entries: entries})
+		}
+		failed := 0
+		for i, err := range svc.PlaceBatch(ctx, items) {
+			if err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "  %s: %v\n", items[i].Key, err)
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("mplace: %d of %d keys failed", failed, len(items))
+		}
+		fmt.Printf("placed %d keys with %v (batched)\n", len(items), cfg)
+	case "madd":
+		items := make([]core.AddItem, 0, len(args)-1)
+		for _, spec := range args[1:] {
+			k, v, ok := strings.Cut(spec, "=")
+			if !ok || k == "" || v == "" {
+				return fmt.Errorf("madd: spec %q is not KEY=ENTRY", spec)
+			}
+			items = append(items, core.AddItem{Key: k, Entry: core.Entry(v)})
+		}
+		failed := 0
+		for i, err := range svc.AddBatch(ctx, items) {
+			if err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "  %s: %v\n", items[i].Key, err)
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("madd: %d of %d adds failed", failed, len(items))
+		}
+		fmt.Printf("added %d entries across %d keys (batched)\n", len(items), len(items))
+	case "mlookup":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: mlookup T KEY [KEY...]")
+		}
+		t, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad target answer size %q: %w", args[1], err)
+		}
+		keys := args[2:]
+		for i, o := range svc.PartialLookupBatch(ctx, keys, t) {
+			switch {
+			case o.Err != nil && errors.Is(o.Err, core.ErrPartialResult):
+				fmt.Printf("%s: %d entries from %d servers (PARTIAL, deadline) %v\n",
+					keys[i], len(o.Result.Entries), o.Result.Contacted, o.Result.Entries)
+			case o.Err != nil:
+				fmt.Printf("%s: ERROR %v\n", keys[i], o.Err)
+			default:
+				status := "satisfied"
+				if !o.Result.Satisfied(t) {
+					status = "UNSATISFIED"
+				}
+				fmt.Printf("%s: %d entries from %d servers (%s) %v\n",
+					keys[i], len(o.Result.Entries), o.Result.Contacted, status, o.Result.Entries)
+			}
 		}
 	case "dump":
 		for i := range addrs {

@@ -1,0 +1,163 @@
+// Multi-key batch API: PlaceBatch, AddBatch and PartialLookupBatch
+// accept many keys per call, group them by strategy configuration, and
+// let each strategy driver pack its group into wire batch envelopes.
+// One round trip then serves every key sharing a route, instead of one
+// round trip per key.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/strategy"
+)
+
+// Batch item types, re-exported so API consumers need only this package.
+type (
+	// PlaceItem is one key's place operation inside a batch.
+	PlaceItem = strategy.PlaceItem
+	// AddItem is one key's add operation inside a batch.
+	AddItem = strategy.AddItem
+)
+
+// LookupOutcome is one key's result inside a PartialLookupBatch reply.
+type LookupOutcome struct {
+	Result strategy.Result
+	Err    error
+}
+
+// PlaceBatch executes place(k, {v1..vh}) for many keys in one call,
+// batching keys that share a strategy configuration into single wire
+// envelopes. It returns one error slot per item (nil on success);
+// per-item failures do not abort the rest of the batch.
+func (s *Service) PlaceBatch(ctx context.Context, items []PlaceItem) []error {
+	errs := make([]error, len(items))
+	for i, it := range items {
+		for _, v := range it.Entries {
+			if !v.Valid() {
+				errs[i] = errInvalidEntry("place", it.Key)
+				break
+			}
+		}
+	}
+	for _, g := range s.groupByConfig(len(items), func(i int) string { return items[i].Key }, errs) {
+		sub := make([]PlaceItem, len(g.idxs))
+		for j, i := range g.idxs {
+			sub[j] = items[i]
+		}
+		scatter(errs, g.idxs, g.driver.PlaceBatch(ctx, s.caller, sub))
+	}
+	return errs
+}
+
+// AddBatch executes add(k, v) for many keys in one call; see PlaceBatch
+// for batching and error semantics.
+func (s *Service) AddBatch(ctx context.Context, items []AddItem) []error {
+	errs := make([]error, len(items))
+	for i, it := range items {
+		if !it.Entry.Valid() {
+			errs[i] = errInvalidEntry("add", it.Key)
+		}
+	}
+	for _, g := range s.groupByConfig(len(items), func(i int) string { return items[i].Key }, errs) {
+		sub := make([]AddItem, len(g.idxs))
+		for j, i := range g.idxs {
+			sub[j] = items[i]
+		}
+		scatter(errs, g.idxs, g.driver.AddBatch(ctx, s.caller, sub))
+	}
+	return errs
+}
+
+// PartialLookupBatch executes partial_lookup(k, t) for many keys in one
+// call. Keys sharing a strategy configuration share probe round trips
+// via LookupBatch envelopes. The reply is per key, parallel to keys:
+// like PartialLookup, fewer than t entries is not an error (check
+// Result.Satisfied), and under an expired deadline an unsatisfied key's
+// Err is a *PartialError matching ErrPartialResult.
+func (s *Service) PartialLookupBatch(ctx context.Context, keys []string, t int) []LookupOutcome {
+	out := make([]LookupOutcome, len(keys))
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	if s.policy.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.policy.Timeout)
+		defer cancel()
+	}
+	for _, g := range s.groupByConfig(len(keys), func(i int) string { return keys[i] }, nil) {
+		sub := make([]string, len(g.idxs))
+		for j, i := range g.idxs {
+			sub[j] = keys[i]
+		}
+		results, errs := g.driver.PartialLookupBatch(ctx, s.lookupCaller, sub, t)
+		for j, i := range g.idxs {
+			res, err := results[j], errs[j]
+			if ctx.Err() != nil && (err != nil || !res.Satisfied(t)) {
+				cause := err
+				if cause == nil {
+					cause = ctx.Err()
+				}
+				err = &PartialError{Key: keys[i], Got: len(res.Entries), Want: t, Cause: cause}
+			}
+			out[i] = LookupOutcome{Result: res, Err: err}
+		}
+	}
+	if s.metrics != nil {
+		elapsed := time.Since(start)
+		for _, o := range out {
+			s.metrics.RecordLookup(len(o.Result.Entries), t, o.Result.Contacted, elapsed,
+				errors.Is(o.Err, ErrPartialResult))
+		}
+	}
+	return out
+}
+
+// configGroup is one batch sub-group: the driver for a configuration
+// plus the indexes of the batch items it covers, in input order.
+type configGroup struct {
+	driver *strategy.Driver
+	idxs   []int
+}
+
+// groupByConfig partitions item indexes by the config managing each
+// key, preserving first-appearance order so batched operations consume
+// driver randomness deterministically. Indexes whose errs slot is
+// already set (failed validation) are skipped.
+func (s *Service) groupByConfig(n int, keyOf func(int) string, errs []error) []configGroup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	groups := make([]configGroup, 0, 1)
+	at := make(map[Config]int)
+	for i := 0; i < n; i++ {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		cfg := s.configForLocked(keyOf(i))
+		gi, ok := at[cfg]
+		if !ok {
+			gi = len(groups)
+			at[cfg] = gi
+			groups = append(groups, configGroup{driver: s.driverForConfigLocked(cfg)})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+	return groups
+}
+
+// scatter copies a sub-batch's error slots back to their original
+// positions.
+func scatter(errs []error, idxs []int, sub []error) {
+	for j, i := range idxs {
+		if errs[i] == nil {
+			errs[i] = sub[j]
+		}
+	}
+}
+
+func errInvalidEntry(op, key string) error {
+	return fmt.Errorf("core: %s %q: invalid empty entry", op, key)
+}

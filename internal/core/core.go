@@ -186,11 +186,14 @@ func (s *Service) SetKeyConfig(key string, cfg Config) error {
 	return nil
 }
 
-// driverFor returns (creating if needed) the driver for a config.
+// driverFor returns (creating if needed) the driver for a key's config.
 func (s *Service) driverFor(key string) *strategy.Driver {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cfg := s.configForLocked(key)
+	return s.driverForConfigLocked(s.configForLocked(key))
+}
+
+func (s *Service) driverForConfigLocked(cfg Config) *strategy.Driver {
 	d, ok := s.drivers[cfg]
 	if !ok {
 		d = strategy.MustNew(cfg, s.rng.Split())

@@ -1,0 +1,49 @@
+package node
+
+import (
+	"context"
+
+	"repro/internal/wire"
+)
+
+// Batch envelopes amortize one round trip (and one transport dispatch)
+// across many keys. Each item executes exactly as its standalone
+// message would — same executors, same RNG draws — so a batched client
+// observes byte-identical placement to a sequential one.
+
+// handlePlaceBatch executes each Place item in order and reports
+// per-item outcomes.
+func (n *Node) handlePlaceBatch(ctx context.Context, m wire.PlaceBatch) wire.Message {
+	errs := make([]string, len(m.Items))
+	for i, item := range m.Items {
+		if ack, ok := n.handlePlace(ctx, item).(wire.Ack); ok {
+			errs[i] = ack.Err
+		}
+	}
+	return wire.BatchAck{Errs: errs}
+}
+
+// handleAddBatch executes each Add item in order and reports per-item
+// outcomes.
+func (n *Node) handleAddBatch(ctx context.Context, m wire.AddBatch) wire.Message {
+	errs := make([]string, len(m.Items))
+	for i, item := range m.Items {
+		if ack, ok := n.handleAdd(ctx, item).(wire.Ack); ok {
+			errs[i] = ack.Err
+		}
+	}
+	return wire.BatchAck{Errs: errs}
+}
+
+// handleLookupBatch answers each probe from the local sets, one
+// LookupReply per item in order. Unknown keys yield empty replies, as a
+// standalone Lookup would.
+func (n *Node) handleLookupBatch(m wire.LookupBatch) wire.Message {
+	replies := make([]wire.LookupReply, len(m.Items))
+	for i, item := range m.Items {
+		if lr, ok := n.handleLookup(item).(wire.LookupReply); ok {
+			replies[i] = lr
+		}
+	}
+	return wire.LookupBatchReply{Replies: replies}
+}

@@ -1,0 +1,57 @@
+package node
+
+import (
+	"context"
+
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// executor is the server-side protocol of one placement strategy: each
+// Sec. 5 subsection of the paper becomes one implementation in its own
+// exec_*.go file. The Node shell dispatches to an executor after
+// resolving the key's stored config, so a client with a stale config
+// cannot fork a key's strategy.
+//
+// The first three methods run the initial server S's role and may call
+// peers; they are invoked with no key lock held. The last three run
+// inside a store.KeyState.Update callback (key locked) and must not
+// call peers — removeOne instead returns a follow-up to run after the
+// lock is released (the RandomServer replacement search).
+type executor interface {
+	// place distributes a place(k, {v1..vh}) batch to the cluster.
+	place(ctx context.Context, n *Node, m wire.Place) wire.Message
+	// add runs the initial server's add(v) protocol for the key.
+	add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Add) wire.Message
+	// del runs the initial server's delete(v) protocol for the key.
+	del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message
+	// storeBatch applies a place broadcast's local selection rule. The
+	// caller has already reset the key (set cleared, ext dropped).
+	storeBatch(n *Node, st *store.State, entries []string)
+	// storeOne applies a single-entry store's local rule.
+	storeOne(n *Node, st *store.State, m wire.StoreOne)
+	// removeOne deletes a local copy; a non-nil return value is invoked
+	// by the caller once the key lock is released.
+	removeOne(ctx context.Context, n *Node, st *store.State, m wire.RemoveOne) func()
+}
+
+// execFor returns the executor for a scheme. Keys whose config is still
+// schemeless (created by a bare CounterSync, or an add that raced ahead
+// of its place) fall back to the replicated executor, whose
+// unconditional broadcasts match the monolith's default branches.
+func execFor(s wire.Scheme) executor {
+	switch s {
+	case wire.Fixed:
+		return fixedExec{}
+	case wire.RandomServer:
+		return rsExec{}
+	case wire.RoundRobin:
+		return roundExec{}
+	case wire.Hash:
+		return hashExec{}
+	case wire.KeyPartition:
+		return partExec{}
+	default:
+		return fullExec{}
+	}
+}

@@ -1,0 +1,60 @@
+package node
+
+import (
+	"context"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// fixedExec implements Fixed-x (Secs. 3.2, 5.2): every server keeps the
+// same x entries. Updates use the paper's selective broadcast — the
+// initial server consults only its own copy to decide whether the
+// cluster needs to hear about the update at all.
+type fixedExec struct{}
+
+func (fixedExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
+	// Broadcast only the first x entries (Sec. 3.2).
+	entries := m.Entries
+	if len(entries) > m.Config.X {
+		entries = entries[:m.Config.X]
+	}
+	return n.ackBroadcast(ctx, wire.StoreBatch{Key: m.Key, Config: m.Config, Entries: entries})
+}
+
+func (fixedExec) add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
+	// Selective broadcast: only when this server has room (Sec. 5.2).
+	if ks.Len() >= cfg.X {
+		return wire.Ack{}
+	}
+	return n.ackBroadcast(ctx, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (fixedExec) del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
+	// Selective broadcast: only when v is stored locally (Sec. 5.2).
+	stored := false
+	ks.View(func(st *store.State) { stored = st.Set.Contains(entry.Entry(m.Entry)) })
+	if !stored {
+		return wire.Ack{}
+	}
+	return n.ackBroadcast(ctx, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (fixedExec) storeBatch(_ *Node, st *store.State, entries []string) {
+	// The sender already truncated the batch to x.
+	for _, v := range entries {
+		st.Set.Add(entry.Entry(v))
+	}
+}
+
+func (fixedExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
+	if st.Set.Len() < st.Cfg.X {
+		st.Set.Add(entry.Entry(m.Entry))
+	}
+}
+
+func (fixedExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
+	st.Set.Remove(entry.Entry(m.Entry))
+	return nil
+}

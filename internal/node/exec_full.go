@@ -1,0 +1,42 @@
+package node
+
+import (
+	"context"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// fullExec implements Full Replication (Secs. 3.1, 5.1): every server
+// stores every entry, so place/add/delete are unconditional broadcasts
+// and the local rules are plain set operations. It is also the fallback
+// executor for keys whose config is still schemeless.
+type fullExec struct{}
+
+func (fullExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
+	return n.ackBroadcast(ctx, wire.StoreBatch{Key: m.Key, Config: m.Config, Entries: m.Entries})
+}
+
+func (fullExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
+	return n.ackBroadcast(ctx, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (fullExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
+	return n.ackBroadcast(ctx, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (fullExec) storeBatch(_ *Node, st *store.State, entries []string) {
+	for _, v := range entries {
+		st.Set.Add(entry.Entry(v))
+	}
+}
+
+func (fullExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
+	st.Set.Add(entry.Entry(m.Entry))
+}
+
+func (fullExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
+	st.Set.Remove(entry.Entry(m.Entry))
+	return nil
+}

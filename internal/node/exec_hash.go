@@ -1,0 +1,99 @@
+package node
+
+import (
+	"context"
+	"hash/fnv"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// hashExec implements Hash-y (Secs. 3.5, 5.5): entry v lives on the y
+// servers f1(v)..fy(v), so every update touches exactly the hash-derived
+// targets and no coordinator state exists.
+type hashExec struct{}
+
+func (hashExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
+	cfg := m.Config
+	numServers := n.numServers()
+	if err := n.broadcast(ctx, wire.StoreBatch{Key: m.Key, Config: cfg}); err != nil {
+		return wire.Ack{Err: err.Error()}
+	}
+	for _, v := range m.Entries {
+		for _, target := range HashAssign(v, cfg.Y, numServers, cfg.Seed) {
+			if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: v}); err != nil {
+				return wire.Ack{Err: err.Error()}
+			}
+		}
+	}
+	return wire.Ack{}
+}
+
+func (hashExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
+	numServers := n.numServers()
+	for _, target := range HashAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
+		if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
+			return wire.Ack{Err: err.Error()}
+		}
+	}
+	return wire.Ack{}
+}
+
+func (hashExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
+	numServers := n.numServers()
+	for _, target := range HashAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
+		if err := n.callBestEffort(ctx, target, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
+			return wire.Ack{Err: err.Error()}
+		}
+	}
+	return wire.Ack{}
+}
+
+func (hashExec) storeBatch(_ *Node, st *store.State, entries []string) {
+	// The place broadcast carries an empty batch purely to install the
+	// config; entries arrive via hash-targeted StoreOne messages.
+	for _, v := range entries {
+		st.Set.Add(entry.Entry(v))
+	}
+}
+
+func (hashExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
+	st.Set.Add(entry.Entry(m.Entry))
+}
+
+func (hashExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
+	st.Set.Remove(entry.Entry(m.Entry))
+	return nil
+}
+
+// HashAssign returns the distinct servers f1(v)..fy(v) that Hash-y
+// assigns entry v to, in a cluster of n servers. The paper leaves the
+// hash family abstract; we hash the entry once with FNV-1a and derive
+// each f_i by a SplitMix64 finalizer over (hash + seed + i·φ) — raw FNV
+// bits are too structured for short keys like "v17" to behave as
+// independent uniform functions (documented substitution in DESIGN.md).
+// seed selects the family; experiments draw a fresh one per run to
+// average over families, as the paper's simulations do.
+func HashAssign(v string, y, n int, seed uint64) []int {
+	if n <= 0 || y <= 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	base := h.Sum64() ^ seed
+	targets := make([]int, 0, y)
+	seen := make(map[int]bool, y)
+	for i := 0; i < y; i++ {
+		z := base + uint64(i+1)*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		target := int(z % uint64(n))
+		if !seen[target] {
+			seen[target] = true
+			targets = append(targets, target)
+		}
+	}
+	return targets
+}

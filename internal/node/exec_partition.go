@@ -1,0 +1,55 @@
+package node
+
+import (
+	"context"
+	"hash/fnv"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// partExec implements the KeyPartition baseline (Fig. 1 center):
+// traditional hashing, where the whole entry set lives on the single
+// server the key hashes to. It is not a partial-lookup strategy — the
+// paper's conclusion contrasts against exactly this design.
+type partExec struct{}
+
+func (partExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
+	target := PartitionServer(m.Key, n.numServers())
+	return n.ackCall(ctx, target, wire.StoreBatch{Key: m.Key, Config: m.Config, Entries: m.Entries})
+}
+
+func (partExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
+	return n.ackCall(ctx, PartitionServer(m.Key, n.numServers()), wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (partExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
+	return n.ackCall(ctx, PartitionServer(m.Key, n.numServers()), wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (partExec) storeBatch(_ *Node, st *store.State, entries []string) {
+	for _, v := range entries {
+		st.Set.Add(entry.Entry(v))
+	}
+}
+
+func (partExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
+	st.Set.Add(entry.Entry(m.Entry))
+}
+
+func (partExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
+	st.Set.Remove(entry.Entry(m.Entry))
+	return nil
+}
+
+// PartitionServer returns the single server responsible for a key
+// under the traditional hashing baseline (Fig. 1 center).
+func PartitionServer(key string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}

@@ -1,0 +1,157 @@
+package node
+
+import (
+	"context"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// rsExec implements RandomServer-x (Secs. 3.3, 5.3): each server keeps
+// an independent uniform random x-subset, maintained under updates by
+// Vitter-style reservoir sampling against a per-server count of the
+// system size.
+type rsExec struct{}
+
+// rsExt is the RandomServer strategy state: this server's running count
+// of entries in the system (Sec. 5.3), carried in store.State.Ext.
+type rsExt struct {
+	hCount int
+}
+
+// rsExtOf returns the key's RandomServer state, creating it on first
+// touch. Must be called with the key locked (inside Update/View).
+func rsExtOf(st *store.State) *rsExt {
+	ext, ok := st.Ext.(*rsExt)
+	if !ok {
+		ext = &rsExt{}
+		st.Ext = ext
+	}
+	return ext
+}
+
+func (rsExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
+	// Broadcast the full list; receivers sample their local x-subset.
+	return n.ackBroadcast(ctx, wire.StoreBatch{Key: m.Key, Config: m.Config, Entries: m.Entries})
+}
+
+func (rsExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
+	return n.ackBroadcast(ctx, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (rsExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
+	return n.ackBroadcast(ctx, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
+}
+
+func (rsExec) storeBatch(n *Node, st *store.State, entries []string) {
+	// Keep an independent uniform random x-subset (Sec. 3.3).
+	rsExtOf(st).hCount = len(entries)
+	x := st.Cfg.X
+	if x >= len(entries) {
+		for _, v := range entries {
+			st.Set.Add(entry.Entry(v))
+		}
+		return
+	}
+	for _, i := range n.rng.SampleInts(len(entries), x) {
+		st.Set.Add(entry.Entry(entries[i]))
+	}
+}
+
+func (rsExec) storeOne(n *Node, st *store.State, m wire.StoreOne) {
+	// Vitter reservoir sampling: with the counter incremented first,
+	// keeping v with probability x/hCount is exactly the x/(h+1) rule
+	// of [Vitter 85] cited in Sec. 5.3.
+	ext := rsExtOf(st)
+	ext.hCount++
+	v := entry.Entry(m.Entry)
+	switch {
+	case st.Set.Contains(v):
+		// Duplicate add; nothing to do.
+	case st.Set.Len() < st.Cfg.X:
+		st.Set.Add(v)
+	case n.rng.Bool(float64(st.Cfg.X) / float64(ext.hCount)):
+		evict := st.Set.At(n.rng.IntN(st.Set.Len()))
+		st.Set.Remove(evict)
+		st.Set.Add(v)
+	}
+}
+
+// removeOne maintains the system-size counter. Under the Sec. 5.3
+// replacement alternative (Config.RSReplace), a server that lost a copy
+// actively contacts other servers to refill its subset instead of
+// waiting for future adds; the search runs after the key unlocks.
+func (rsExec) removeOne(ctx context.Context, n *Node, st *store.State, m wire.RemoveOne) func() {
+	ext := rsExtOf(st)
+	if ext.hCount > 0 {
+		ext.hCount--
+	}
+	v := entry.Entry(m.Entry)
+	had := st.Set.Remove(v)
+	if !had || !st.Cfg.RSReplace {
+		return nil
+	}
+	x := st.Cfg.X
+	key := m.Key
+	return func() { n.findReplacement(ctx, key, v, x) }
+}
+
+// findReplacement probes peers in random order for an entry this
+// server does not yet hold ("two servers are not likely to have the
+// same entries", Sec. 5.3). Failure to find one is not an error: the
+// set simply stays below x, like the cushion scheme.
+func (n *Node) findReplacement(ctx context.Context, key string, deleted entry.Entry, x int) {
+	numServers := n.numServers()
+	order := n.rng.Perm(numServers)
+	for _, peer := range order {
+		if peer == n.id {
+			continue
+		}
+		reply, err := n.callReply(ctx, peer, wire.Lookup{Key: key, T: x})
+		if err != nil {
+			continue // down peers are skipped, like a client would
+		}
+		lr, ok := reply.(wire.LookupReply)
+		if !ok || lr.Err != "" {
+			continue
+		}
+		ks, exists := n.store.Get(key)
+		if !exists {
+			return
+		}
+		done := false
+		ks.Update(func(st *store.State) {
+			for _, cand := range lr.Entries {
+				v := entry.Entry(cand)
+				if v == deleted || st.Set.Contains(v) {
+					continue
+				}
+				if st.Set.Len() < st.Cfg.X {
+					st.Set.Add(v)
+				}
+				done = true
+				return
+			}
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// SystemCount returns the node's local estimate of the number of entries
+// in the system for a key (maintained by the RandomServer protocol).
+func (n *Node) SystemCount(key string) int {
+	ks, ok := n.store.Get(key)
+	if !ok {
+		return 0
+	}
+	count := 0
+	ks.View(func(st *store.State) {
+		if ext, ok := st.Ext.(*rsExt); ok {
+			count = ext.hCount
+		}
+	})
+	return count
+}

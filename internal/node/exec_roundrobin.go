@@ -1,0 +1,367 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// roundExec implements Round-Robin-y (Secs. 3.4, 5.4): entry v_i lives
+// on servers (i mod n)..(i+y-1 mod n), coordinated by head/tail
+// position counters, with the Fig. 11 hole-plugging migration on
+// deletes. The scheme-specific server messages (RoundRemove, Migrate,
+// RemoveAt, CounterSync) are handled here too.
+type roundExec struct{}
+
+// roundExt is the Round-Robin strategy state carried in store.State.Ext.
+type roundExt struct {
+	// head and tail are the coordinator's global position counters into
+	// the round-robin sequence (Sec. 5.4), meaningful on servers
+	// 0..Coordinators-1 (the paper's base scheme is server 0 only).
+	head int
+	tail int
+
+	// positions records each locally stored entry's round-robin
+	// sequence position: the entry at position p lives on servers
+	// (p mod n)..(p+y-1 mod n). The Fig. 11 migration keeps this
+	// invariant by assigning the hole's position to the migrated
+	// replacement.
+	positions map[entry.Entry]int
+
+	// migrations tracks in-flight Fig. 11 migrations at the head
+	// server: per deleted entry, the replacement R[v], its position,
+	// and the count M[v] of migrate requests serviced so far.
+	migrations map[entry.Entry]*migration
+}
+
+type migration struct {
+	replacement entry.Entry
+	found       bool
+	count       int
+	headPos     int
+}
+
+// roundExtOf returns the key's Round-Robin state, creating it on first
+// touch. Must be called with the key locked (inside Update/View).
+func roundExtOf(st *store.State) *roundExt {
+	ext, ok := st.Ext.(*roundExt)
+	if !ok {
+		ext = &roundExt{
+			positions:  make(map[entry.Entry]int),
+			migrations: make(map[entry.Entry]*migration),
+		}
+		st.Ext = ext
+	}
+	return ext
+}
+
+func (roundExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
+	cfg := m.Config
+	numServers := n.numServers()
+	// The coordinator counters (head/tail, Sec. 5.4) live on servers
+	// 0..Coordinators-1 (footnote 1 generalization; the paper's base
+	// scheme is Coordinators=1, i.e. "server 1"). The client driver
+	// routes Round-y placement to a live coordinator.
+	if n.id >= coordinators(cfg) {
+		return wire.Ack{Err: "node: Round-y place must be sent to a coordinator"}
+	}
+	// Initialize per-key state everywhere (empty batch carries the
+	// config), then hand entry v_i to servers (i mod n)..(i+y-1 mod n).
+	if err := n.broadcast(ctx, wire.StoreBatch{Key: m.Key, Config: cfg}); err != nil {
+		return wire.Ack{Err: err.Error()}
+	}
+	for i, v := range m.Entries {
+		for j := 0; j < cfg.Y; j++ {
+			target := (i + j) % numServers
+			if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: v, Pos: i}); err != nil {
+				return wire.Ack{Err: err.Error()}
+			}
+		}
+	}
+	// Positions [head, tail) are live.
+	ks := n.store.GetOrCreate(m.Key, cfg)
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		ext.head = 0
+		ext.tail = len(m.Entries)
+	})
+	n.mirrorCounters(ctx, m.Key, cfg, 0, len(m.Entries))
+	return wire.Ack{}
+}
+
+func (roundExec) add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
+	if n.id >= coordinators(cfg) {
+		return wire.Ack{Err: "node: Round-y add must be sent to a coordinator"}
+	}
+	numServers := n.numServers()
+	var pos, head int
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		pos = ext.tail
+		ext.tail++
+		head = ext.head
+	})
+	n.mirrorCounters(ctx, m.Key, cfg, head, pos+1)
+	for j := 0; j < cfg.Y; j++ {
+		target := (pos + j) % numServers
+		if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry, Pos: pos}); err != nil {
+			return wire.Ack{Err: err.Error()}
+		}
+	}
+	return wire.Ack{}
+}
+
+func (roundExec) del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
+	if n.id >= coordinators(cfg) {
+		return wire.Ack{Err: "node: Round-y delete must be sent to a coordinator"}
+	}
+	numServers := n.numServers()
+	var headPos, tail int
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		headPos = ext.head
+		ext.head++
+		tail = ext.tail
+	})
+	headServer := headPos % numServers
+	n.mirrorCounters(ctx, m.Key, cfg, headPos+1, tail)
+	// Fig. 11: broadcast remove(v, head). The head server must
+	// initialize its migration state before any migrate request
+	// arrives, so it receives the broadcast first.
+	rm := wire.RoundRemove{Key: m.Key, Entry: m.Entry, HeadServer: headServer, HeadPos: headPos}
+	if err := n.callBestEffort(ctx, headServer, rm); err != nil {
+		return wire.Ack{Err: err.Error()}
+	}
+	for target := 0; target < numServers; target++ {
+		if target == headServer {
+			continue
+		}
+		if err := n.callBestEffort(ctx, target, rm); err != nil {
+			return wire.Ack{Err: err.Error()}
+		}
+	}
+	return wire.Ack{}
+}
+
+func (roundExec) storeBatch(_ *Node, st *store.State, entries []string) {
+	// The place broadcast carries an empty batch purely to install the
+	// config; entries arrive via positioned StoreOne messages.
+	for _, v := range entries {
+		st.Set.Add(entry.Entry(v))
+	}
+}
+
+func (roundExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
+	v := entry.Entry(m.Entry)
+	st.Set.Add(v)
+	roundExtOf(st).positions[v] = m.Pos
+}
+
+func (roundExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
+	st.Set.Remove(entry.Entry(m.Entry))
+	return nil
+}
+
+// handleRoundRemove executes the receiver side of the Fig. 11 protocol:
+//
+//	remove(v, head) @ server X:
+//	  if X == head: M[v] = 0; R[v] = u    // the entry at position head
+//	  if v stored here:
+//	    delete v; u = migrate_[head](v); store u at v's position
+//
+// The migrated replacement inherits the deleted entry's round-robin
+// position, preserving the invariant that position p's entry lives on
+// servers (p mod n)..(p+y-1 mod n) — without it, later deletions would
+// retire the wrong copies (the paper's pseudocode leaves this implicit
+// in its "plug the hole" picture, Fig. 10).
+func (n *Node) handleRoundRemove(ctx context.Context, m wire.RoundRemove) wire.Message {
+	v := entry.Entry(m.Entry)
+	ks, ok := n.store.Get(m.Key)
+	if !ok {
+		return wire.Ack{}
+	}
+	var (
+		holePos int
+		hadPos  bool
+		had     bool
+	)
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		if n.id == m.HeadServer {
+			// Choose the replacement: the local entry at position head.
+			// If v itself sits at the head position, the hole is at the
+			// head and no migration is needed (found stays false).
+			var u entry.Entry
+			found := false
+			for e, p := range ext.positions {
+				if p == m.HeadPos && e != v {
+					u, found = e, true
+					break
+				}
+			}
+			ext.migrations[v] = &migration{replacement: u, found: found, headPos: m.HeadPos}
+		}
+		holePos, hadPos = ext.positions[v]
+		had = st.Set.Remove(v)
+		delete(ext.positions, v)
+	})
+
+	if !had {
+		return wire.Ack{}
+	}
+	reply, err := n.callReply(ctx, m.HeadServer, wire.Migrate{Key: m.Key, Entry: m.Entry})
+	if errors.Is(err, transport.ErrServerDown) {
+		// The head server is gone: no replacement is available, so the
+		// hole stays unplugged (entries on the failed head are lost
+		// anyway, Sec. 4.4).
+		return wire.Ack{}
+	}
+	if err != nil {
+		return wire.Ack{Err: err.Error()}
+	}
+	mr, ok := reply.(wire.MigrateReply)
+	if !ok {
+		return wire.Ack{Err: fmt.Sprintf("node: unexpected migrate reply %T", reply)}
+	}
+	if mr.Err != "" {
+		return wire.Ack{Err: mr.Err}
+	}
+	if mr.Found && mr.Replacement != m.Entry {
+		u := entry.Entry(mr.Replacement)
+		ks.Update(func(st *store.State) {
+			st.Set.Add(u)
+			if hadPos {
+				roundExtOf(st).positions[u] = holePos
+			}
+		})
+	}
+	return wire.Ack{}
+}
+
+// handleMigrate executes the head server's migrate(v) procedure of
+// Fig. 11: count requests and, once all y holders have migrated, retire
+// the replacement entry's original copies — position-checked, so the
+// copies that just migrated into the hole survive even when the head
+// range overlaps the hole range.
+func (n *Node) handleMigrate(ctx context.Context, m wire.Migrate) wire.Message {
+	v := entry.Entry(m.Entry)
+	ks, ok := n.store.Get(m.Key)
+	if !ok {
+		return wire.MigrateReply{Err: "node: migrate for unknown key"}
+	}
+	var (
+		pending     bool
+		done        bool
+		replacement entry.Entry
+		found       bool
+		headPos     int
+		cfg         wire.Config
+	)
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		mig, ok := ext.migrations[v]
+		if !ok {
+			return
+		}
+		pending = true
+		mig.count++
+		done = mig.count >= st.Cfg.Y
+		if done {
+			delete(ext.migrations, v)
+		}
+		replacement, found, headPos = mig.replacement, mig.found, mig.headPos
+		cfg = st.Cfg
+	})
+	if !pending {
+		return wire.MigrateReply{Err: "node: migrate without pending removal"}
+	}
+
+	if done && found {
+		// Remove R[v] from its original y consecutive homes
+		// (servers head .. head+y-1, i.e. this server onward).
+		numServers := n.numServers()
+		for i := 0; i < cfg.Y; i++ {
+			target := (n.id + i) % numServers
+			if err := n.callBestEffort(ctx, target, wire.RemoveAt{Key: m.Key, Entry: string(replacement), Pos: headPos}); err != nil {
+				return wire.MigrateReply{Err: err.Error()}
+			}
+		}
+	}
+	return wire.MigrateReply{Replacement: string(replacement), Found: found}
+}
+
+// handleRemoveAt retires one original copy of a migrated replacement:
+// the entry is deleted only if it still occupies the given round-robin
+// position.
+func (n *Node) handleRemoveAt(m wire.RemoveAt) wire.Message {
+	v := entry.Entry(m.Entry)
+	ks, ok := n.store.Get(m.Key)
+	if !ok {
+		return wire.Ack{}
+	}
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		if p, ok := ext.positions[v]; ok && p == m.Pos {
+			st.Set.Remove(v)
+			delete(ext.positions, v)
+		}
+	})
+	return wire.Ack{}
+}
+
+// handleCounterSync adopts mirrored Round-y coordinator counters
+// (footnote 1 generalization). Values are taken only if they advance
+// the local view, so replays and reordering are harmless.
+func (n *Node) handleCounterSync(m wire.CounterSync) wire.Message {
+	ks := n.store.GetOrCreate(m.Key, wire.Config{})
+	ks.Update(func(st *store.State) {
+		ext := roundExtOf(st)
+		if m.Head > ext.head {
+			ext.head = m.Head
+		}
+		if m.Tail > ext.tail {
+			ext.tail = m.Tail
+		}
+	})
+	return wire.Ack{}
+}
+
+// coordinators returns how many servers mirror the Round-y counters.
+func coordinators(cfg wire.Config) int {
+	if cfg.Coordinators > 1 {
+		return cfg.Coordinators
+	}
+	return 1
+}
+
+// mirrorCounters best-effort syncs head/tail to the other coordinator
+// replicas; failed replicas are skipped (they re-learn on recovery
+// from the next successful sync they receive).
+func (n *Node) mirrorCounters(ctx context.Context, key string, cfg wire.Config, head, tail int) {
+	for c := 0; c < coordinators(cfg); c++ {
+		if c == n.id {
+			continue
+		}
+		// Errors (including down replicas) are intentionally dropped.
+		_, _ = n.callReply(ctx, c, wire.CounterSync{Key: key, Head: head, Tail: tail})
+	}
+}
+
+// Counters returns the Round-Robin coordinator's (head, tail) for a key.
+func (n *Node) Counters(key string) (head, tail int) {
+	ks, ok := n.store.Get(key)
+	if !ok {
+		return 0, 0
+	}
+	ks.View(func(st *store.State) {
+		if ext, ok := st.Ext.(*roundExt); ok {
+			head, tail = ext.head, ext.tail
+		}
+	})
+	return head, tail
+}

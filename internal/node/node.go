@@ -5,6 +5,16 @@
 // hole-plugging migration of Round-Robin-y (Sec. 5.4, Figs. 10-11), and
 // hash-directed placement for Hash-y (Secs. 3.5, 5.5).
 //
+// The package is decomposed along the paper's own seams:
+//
+//   - Node (this file) is the transport-facing shell: message dispatch,
+//     peer calls, and telemetry. It owns no key state.
+//   - internal/store owns all per-key state, sharded under striped
+//     locks with copy-on-write snapshots, so traffic on different keys
+//     never serializes and partial_lookup reads never block writers.
+//   - One executor per placement strategy (exec_*.go) implements the
+//     protocol of its Sec. 5 subsection against that store.
+//
 // A Node is transport-agnostic: it consumes a transport.Caller for peer
 // traffic and implements transport.Handler, so the same code runs under
 // the in-process simulator and the TCP daemon.
@@ -14,15 +24,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/entry"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"sync/atomic"
 )
 
 // Node is one lookup server. Create it with New, then Attach the peer
@@ -34,64 +44,37 @@ type Node struct {
 	// Atomic so instrumentation can be attached to a serving node.
 	metrics atomic.Pointer[telemetry.NodeMetrics]
 
-	mu    sync.Mutex
-	peers transport.Caller
-	rng   *stats.RNG
-	keys  map[string]*keyState
+	// rng serializes draws from the node's seeded stream. It is the
+	// only lock lookups on warm keys ever take, and only for the
+	// handful of sample draws — single-goroutine runs therefore consume
+	// the stream in exactly the order the monolithic node did, keeping
+	// every golden seed valid.
+	rng lockedRNG
+
+	// store owns all per-key state; see package store.
+	store *store.Store
+
+	peersMu sync.RWMutex
+	peers   transport.Caller
 }
 
 var _ transport.Handler = (*Node)(nil)
-
-// keyState is the per-key server state.
-type keyState struct {
-	cfg wire.Config
-	set *entry.Set
-
-	// hCount is this server's running count of entries in the system,
-	// maintained by the RandomServer-x update protocol (Sec. 5.3).
-	hCount int
-
-	// Round-Robin coordinator state, meaningful only on server 0
-	// (the paper's "server 1", Sec. 5.4): head and tail are global
-	// position counters into the round-robin sequence.
-	head int
-	tail int
-
-	// positions records each locally stored entry's round-robin
-	// sequence position (Round-y only): the entry at position p lives
-	// on servers (p mod n)..(p+y-1 mod n). The Fig. 11 migration keeps
-	// this invariant by assigning the hole's position to the migrated
-	// replacement.
-	positions map[entry.Entry]int
-
-	// migrations tracks in-flight Fig. 11 migrations at the head
-	// server: per deleted entry, the replacement R[v], its position,
-	// and the count M[v] of migrate requests serviced so far.
-	migrations map[entry.Entry]*migration
-}
-
-type migration struct {
-	replacement entry.Entry
-	found       bool
-	count       int
-	headPos     int
-}
 
 // New returns a node with the given id, seeded deterministically from
 // seed (each node should get a distinct seed; see stats.RNG.Split).
 func New(id int, rng *stats.RNG) *Node {
 	return &Node{
-		id:   id,
-		rng:  rng,
-		keys: make(map[string]*keyState),
+		id:    id,
+		rng:   lockedRNG{rng: rng},
+		store: store.New(),
 	}
 }
 
 // Attach wires the peer caller the node uses for broadcasts and
 // migrations. It must be called before the node serves traffic.
 func (n *Node) Attach(peers transport.Caller) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
 	n.peers = peers
 }
 
@@ -104,13 +87,15 @@ func (n *Node) ID() int { return n.id }
 // per-server throughput vectors a snapshot exposes.
 func (n *Node) Instrument(m *telemetry.NodeMetrics) { n.metrics.Store(m) }
 
-// recordOp counts one handled client-facing operation.
+// recordOp counts one handled client-facing operation; batch envelopes
+// count one op per item, so throughput vectors measure keys served, not
+// envelopes.
 func (n *Node) recordOp(msg wire.Message) {
 	m := n.metrics.Load()
 	if m == nil {
 		return
 	}
-	switch msg.(type) {
+	switch mm := msg.(type) {
 	case wire.Place:
 		m.Places.At(n.id).Inc()
 	case wire.Add:
@@ -119,30 +104,18 @@ func (n *Node) recordOp(msg wire.Message) {
 		m.Deletes.At(n.id).Inc()
 	case wire.Lookup:
 		m.Lookups.At(n.id).Inc()
+	case wire.PlaceBatch:
+		m.Places.At(n.id).Add(int64(len(mm.Items)))
+	case wire.AddBatch:
+		m.Adds.At(n.id).Add(int64(len(mm.Items)))
+	case wire.LookupBatch:
+		m.Lookups.At(n.id).Add(int64(len(mm.Items)))
 	}
-}
-
-// state returns (creating if necessary) the key state, applying cfg on
-// first sight. Callers must hold n.mu.
-func (n *Node) state(key string, cfg wire.Config) *keyState {
-	ks, ok := n.keys[key]
-	if !ok {
-		ks = &keyState{
-			cfg:        cfg,
-			set:        entry.NewSet(0),
-			positions:  make(map[entry.Entry]int),
-			migrations: make(map[entry.Entry]*migration),
-		}
-		n.keys[key] = ks
-	} else if !ks.cfg.Scheme.Valid() && cfg.Scheme.Valid() {
-		ks.cfg = cfg
-	}
-	return ks
 }
 
 // Handle implements transport.Handler, dispatching one protocol message.
-// Nested peer calls (broadcasts, migrations) are issued with the node
-// lock released, so self-directed messages re-enter Handle safely.
+// Nested peer calls (broadcasts, migrations) are issued with no key
+// lock held, so self-directed messages re-enter Handle safely.
 func (n *Node) Handle(ctx context.Context, msg wire.Message) wire.Message {
 	n.recordOp(msg)
 	switch m := msg.(type) {
@@ -154,6 +127,12 @@ func (n *Node) Handle(ctx context.Context, msg wire.Message) wire.Message {
 		return n.handleDelete(ctx, m)
 	case wire.Lookup:
 		return n.handleLookup(m)
+	case wire.PlaceBatch:
+		return n.handlePlaceBatch(ctx, m)
+	case wire.AddBatch:
+		return n.handleAddBatch(ctx, m)
+	case wire.LookupBatch:
+		return n.handleLookupBatch(m)
 	case wire.StoreBatch:
 		return n.handleStoreBatch(m)
 	case wire.StoreOne:
@@ -180,209 +159,53 @@ func (n *Node) Handle(ctx context.Context, msg wire.Message) wire.Message {
 // handlePlace implements the initial server S's role in
 // place(v1..vh): distribute entries to all servers per the scheme.
 func (n *Node) handlePlace(ctx context.Context, m wire.Place) wire.Message {
-	cfg := m.Config
 	numServers := n.numServers()
 	if numServers == 0 {
 		return wire.Ack{Err: "node: no peer caller attached"}
 	}
-	if err := cfg.Validate(numServers); err != nil {
+	if err := m.Config.Validate(numServers); err != nil {
 		return wire.Ack{Err: err.Error()}
 	}
-	switch cfg.Scheme {
-	case wire.FullReplication, wire.RandomServer:
-		// Broadcast the full list; receivers apply their local rule.
-		return n.ackBroadcast(ctx, wire.StoreBatch{Key: m.Key, Config: cfg, Entries: m.Entries})
-	case wire.Fixed:
-		// Broadcast only the first x entries (Sec. 3.2).
-		entries := m.Entries
-		if len(entries) > cfg.X {
-			entries = entries[:cfg.X]
-		}
-		return n.ackBroadcast(ctx, wire.StoreBatch{Key: m.Key, Config: cfg, Entries: entries})
-	case wire.RoundRobin:
-		// The coordinator counters (head/tail, Sec. 5.4) live on
-		// servers 0..Coordinators-1 (footnote 1 generalization; the
-		// paper's base scheme is Coordinators=1, i.e. "server 1").
-		// The client driver routes Round-y placement to a live
-		// coordinator.
-		if n.id >= coordinators(cfg) {
-			return wire.Ack{Err: "node: Round-y place must be sent to a coordinator"}
-		}
-		// Initialize per-key state everywhere (empty batch carries the
-		// config), then hand entry v_i to servers (i mod n)..(i+y-1 mod n).
-		if err := n.broadcast(ctx, wire.StoreBatch{Key: m.Key, Config: cfg}); err != nil {
-			return wire.Ack{Err: err.Error()}
-		}
-		for i, v := range m.Entries {
-			for j := 0; j < cfg.Y; j++ {
-				target := (i + j) % numServers
-				if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: v, Pos: i}); err != nil {
-					return wire.Ack{Err: err.Error()}
-				}
-			}
-		}
-		// Positions [head, tail) are live.
-		n.mu.Lock()
-		ks := n.state(m.Key, cfg)
-		ks.head = 0
-		ks.tail = len(m.Entries)
-		n.mu.Unlock()
-		n.mirrorCounters(ctx, m.Key, cfg, 0, len(m.Entries))
-		return wire.Ack{}
-	case wire.KeyPartition:
-		// Traditional hashing (Fig. 1 center): the whole entry set
-		// lives on the single server the key hashes to.
-		target := PartitionServer(m.Key, numServers)
-		return n.ackCall(ctx, target, wire.StoreBatch{Key: m.Key, Config: cfg, Entries: m.Entries})
-	case wire.Hash:
-		if err := n.broadcast(ctx, wire.StoreBatch{Key: m.Key, Config: cfg}); err != nil {
-			return wire.Ack{Err: err.Error()}
-		}
-		for _, v := range m.Entries {
-			for _, target := range HashAssign(v, cfg.Y, numServers, cfg.Seed) {
-				if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: v}); err != nil {
-					return wire.Ack{Err: err.Error()}
-				}
-			}
-		}
-		return wire.Ack{}
-	default:
-		return wire.Ack{Err: fmt.Sprintf("node: place with unknown scheme %v", cfg.Scheme)}
-	}
+	return execFor(m.Config.Scheme).place(ctx, n, m)
 }
 
 // handleAdd implements the initial server S's role in add(v) (Sec. 5).
+// The stored config (installed by the key's placement) wins over the
+// one riding on the message, so a client with a stale config cannot
+// fork the key's strategy.
 func (n *Node) handleAdd(ctx context.Context, m wire.Add) wire.Message {
-	v := entry.Entry(m.Entry)
-	if !v.Valid() {
+	if !entry.Entry(m.Entry).Valid() {
 		return wire.Ack{Err: "node: add with empty entry"}
 	}
-	numServers := n.numServers()
-	if numServers == 0 {
+	if n.numServers() == 0 {
 		return wire.Ack{Err: "node: no peer caller attached"}
 	}
-
-	n.mu.Lock()
-	ks := n.state(m.Key, m.Config)
-	cfg := ks.cfg
-	switch cfg.Scheme {
-	case wire.Fixed:
-		// Selective broadcast: only when this server has room (Sec. 5.2).
-		needBroadcast := ks.set.Len() < cfg.X
-		n.mu.Unlock()
-		if !needBroadcast {
-			return wire.Ack{}
-		}
-		return n.ackBroadcast(ctx, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
-	case wire.RoundRobin:
-		if n.id >= coordinators(cfg) {
-			n.mu.Unlock()
-			return wire.Ack{Err: "node: Round-y add must be sent to a coordinator"}
-		}
-		pos := ks.tail
-		ks.tail++
-		head := ks.head
-		n.mu.Unlock()
-		n.mirrorCounters(ctx, m.Key, cfg, head, pos+1)
-		for j := 0; j < cfg.Y; j++ {
-			target := (pos + j) % numServers
-			if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry, Pos: pos}); err != nil {
-				return wire.Ack{Err: err.Error()}
-			}
-		}
-		return wire.Ack{}
-	case wire.Hash:
-		n.mu.Unlock()
-		for _, target := range HashAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
-			if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
-				return wire.Ack{Err: err.Error()}
-			}
-		}
-		return wire.Ack{}
-	case wire.KeyPartition:
-		n.mu.Unlock()
-		return n.ackCall(ctx, PartitionServer(m.Key, numServers), wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
-	default: // FullReplication, RandomServer: unconditional broadcast.
-		n.mu.Unlock()
-		return n.ackBroadcast(ctx, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry})
-	}
+	ks := n.store.GetOrCreate(m.Key, m.Config)
+	cfg := ks.Config()
+	return execFor(cfg.Scheme).add(ctx, n, ks, cfg, m)
 }
 
 // handleDelete implements the initial server S's role in delete(v).
 func (n *Node) handleDelete(ctx context.Context, m wire.Delete) wire.Message {
-	v := entry.Entry(m.Entry)
-	numServers := n.numServers()
-	if numServers == 0 {
+	if n.numServers() == 0 {
 		return wire.Ack{Err: "node: no peer caller attached"}
 	}
-
-	n.mu.Lock()
-	ks := n.state(m.Key, m.Config)
-	cfg := ks.cfg
-	switch cfg.Scheme {
-	case wire.Fixed:
-		// Selective broadcast: only when v is stored locally (Sec. 5.2).
-		needBroadcast := ks.set.Contains(v)
-		n.mu.Unlock()
-		if !needBroadcast {
-			return wire.Ack{}
-		}
-		return n.ackBroadcast(ctx, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
-	case wire.RoundRobin:
-		if n.id >= coordinators(cfg) {
-			n.mu.Unlock()
-			return wire.Ack{Err: "node: Round-y delete must be sent to a coordinator"}
-		}
-		headPos := ks.head
-		headServer := headPos % numServers
-		ks.head++
-		tail := ks.tail
-		n.mu.Unlock()
-		n.mirrorCounters(ctx, m.Key, cfg, headPos+1, tail)
-		// Fig. 11: broadcast remove(v, head). The head server must
-		// initialize its migration state before any migrate request
-		// arrives, so it receives the broadcast first.
-		rm := wire.RoundRemove{Key: m.Key, Entry: m.Entry, HeadServer: headServer, HeadPos: headPos}
-		if err := n.callBestEffort(ctx, headServer, rm); err != nil {
-			return wire.Ack{Err: err.Error()}
-		}
-		for target := 0; target < numServers; target++ {
-			if target == headServer {
-				continue
-			}
-			if err := n.callBestEffort(ctx, target, rm); err != nil {
-				return wire.Ack{Err: err.Error()}
-			}
-		}
-		return wire.Ack{}
-	case wire.Hash:
-		n.mu.Unlock()
-		for _, target := range HashAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
-			if err := n.callBestEffort(ctx, target, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
-				return wire.Ack{Err: err.Error()}
-			}
-		}
-		return wire.Ack{}
-	case wire.KeyPartition:
-		n.mu.Unlock()
-		return n.ackCall(ctx, PartitionServer(m.Key, numServers), wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
-	default: // FullReplication, RandomServer: unconditional broadcast.
-		n.mu.Unlock()
-		return n.ackBroadcast(ctx, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry})
-	}
+	ks := n.store.GetOrCreate(m.Key, m.Config)
+	cfg := ks.Config()
+	return execFor(cfg.Scheme).del(ctx, n, ks, cfg, m)
 }
 
 // handleLookup answers one partial-lookup probe: up to T entries sampled
 // uniformly from the local set ("t randomly selected entries stored on
-// the server or all the entries if the total is less than t").
+// the server or all the entries if the total is less than t"). The
+// sample is drawn from the key's copy-on-write snapshot, so lookups on
+// a warm key take no lock beyond the per-draw RNG lock.
 func (n *Node) handleLookup(m wire.Lookup) wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[m.Key]
+	ks, ok := n.store.Get(m.Key)
 	if !ok {
 		return wire.LookupReply{}
 	}
-	sample := ks.set.Sample(n.rng, m.T)
+	sample := ks.Snapshot().Sample(&n.rng, m.T)
 	out := make([]string, len(sample))
 	for i, v := range sample {
 		out[i] = string(v)
@@ -390,330 +213,55 @@ func (n *Node) handleLookup(m wire.Lookup) wire.Message {
 	return wire.LookupReply{Entries: out}
 }
 
-// handleStoreBatch applies a place broadcast: each receiver stores the
+// handleStoreBatch applies a place broadcast: the receiver resets the
+// key (config, entry set, strategy state) and stores the
 // scheme-dependent local selection of the batch.
 func (n *Node) handleStoreBatch(m wire.StoreBatch) wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks := n.state(m.Key, m.Config)
-	ks.cfg = m.Config
-	ks.set.Clear()
-	ks.hCount = len(m.Entries)
-	ks.head, ks.tail = 0, 0
-	ks.positions = make(map[entry.Entry]int)
-	ks.migrations = make(map[entry.Entry]*migration)
-
-	switch ks.cfg.Scheme {
-	case wire.RandomServer:
-		// Keep an independent uniform random x-subset (Sec. 3.3).
-		x := ks.cfg.X
-		if x >= len(m.Entries) {
-			for _, v := range m.Entries {
-				ks.set.Add(entry.Entry(v))
-			}
-			return wire.Ack{}
-		}
-		for _, i := range n.rng.SampleInts(len(m.Entries), x) {
-			ks.set.Add(entry.Entry(m.Entries[i]))
-		}
-		return wire.Ack{}
-	default:
-		// FullReplication and Fixed store the batch as sent (the
-		// sender already truncated for Fixed); Round/Hash use the
-		// empty batch purely to install the config.
-		for _, v := range m.Entries {
-			ks.set.Add(entry.Entry(v))
-		}
-		return wire.Ack{}
-	}
+	ks := n.store.GetOrCreate(m.Key, m.Config)
+	ks.Update(func(st *store.State) {
+		st.Cfg = m.Config
+		st.Set.Clear()
+		st.Ext = nil
+		execFor(st.Cfg.Scheme).storeBatch(n, st, m.Entries)
+	})
+	return wire.Ack{}
 }
 
-// handleStoreOne applies a single-entry store, with the RandomServer
-// reservoir replacement rule of Sec. 5.3.
+// handleStoreOne applies a single-entry store under the key's
+// scheme-specific local rule.
 func (n *Node) handleStoreOne(m wire.StoreOne) wire.Message {
-	v := entry.Entry(m.Entry)
-	if !v.Valid() {
+	if !entry.Entry(m.Entry).Valid() {
 		return wire.Ack{Err: "node: store with empty entry"}
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks := n.state(m.Key, m.Config)
-	switch ks.cfg.Scheme {
-	case wire.Fixed:
-		if ks.set.Len() < ks.cfg.X {
-			ks.set.Add(v)
-		}
-	case wire.RandomServer:
-		// Vitter reservoir sampling: with the counter incremented
-		// first, keeping v with probability x/hCount is exactly the
-		// x/(h+1) rule of [Vitter 85] cited in Sec. 5.3.
-		ks.hCount++
-		switch {
-		case ks.set.Contains(v):
-			// Duplicate add; nothing to do.
-		case ks.set.Len() < ks.cfg.X:
-			ks.set.Add(v)
-		case n.rng.Bool(float64(ks.cfg.X) / float64(ks.hCount)):
-			evict := ks.set.At(n.rng.IntN(ks.set.Len()))
-			ks.set.Remove(evict)
-			ks.set.Add(v)
-		}
-	case wire.RoundRobin:
-		ks.set.Add(v)
-		ks.positions[v] = m.Pos
-	default:
-		ks.set.Add(v)
-	}
+	ks := n.store.GetOrCreate(m.Key, m.Config)
+	ks.Update(func(st *store.State) {
+		execFor(st.Cfg.Scheme).storeOne(n, st, m)
+	})
 	return wire.Ack{}
 }
 
-// handleRemoveOne deletes a local copy, maintaining the RandomServer
-// system-size counter. Under the Sec. 5.3 replacement alternative
-// (Config.RSReplace), a RandomServer node that lost a copy actively
-// contacts other servers to refill its subset instead of waiting for
-// future adds.
+// handleRemoveOne deletes a local copy under the key's scheme-specific
+// rule; RandomServer-x may follow up with a replacement search (see
+// exec_randomserver.go).
 func (n *Node) handleRemoveOne(ctx context.Context, m wire.RemoveOne) wire.Message {
-	n.mu.Lock()
-	ks := n.state(m.Key, m.Config)
-	if ks.cfg.Scheme == wire.RandomServer && ks.hCount > 0 {
-		ks.hCount--
-	}
-	had := ks.set.Remove(entry.Entry(m.Entry))
-	replace := had && ks.cfg.Scheme == wire.RandomServer && ks.cfg.RSReplace
-	x := ks.cfg.X
-	n.mu.Unlock()
-	if !replace {
-		return wire.Ack{}
-	}
-	n.findReplacement(ctx, m.Key, entry.Entry(m.Entry), x)
-	return wire.Ack{}
-}
-
-// findReplacement probes peers in random order for an entry this
-// server does not yet hold ("two servers are not likely to have the
-// same entries", Sec. 5.3). Failure to find one is not an error: the
-// set simply stays below x, like the cushion scheme.
-func (n *Node) findReplacement(ctx context.Context, key string, deleted entry.Entry, x int) {
-	numServers := n.numServers()
-	n.mu.Lock()
-	order := n.rng.Perm(numServers)
-	n.mu.Unlock()
-	for _, peer := range order {
-		if peer == n.id {
-			continue
-		}
-		reply, err := n.callReply(ctx, peer, wire.Lookup{Key: key, T: x})
-		if err != nil {
-			continue // down peers are skipped, like a client would
-		}
-		lr, ok := reply.(wire.LookupReply)
-		if !ok || lr.Err != "" {
-			continue
-		}
-		n.mu.Lock()
-		ks, exists := n.keys[key]
-		if !exists {
-			n.mu.Unlock()
-			return
-		}
-		for _, cand := range lr.Entries {
-			v := entry.Entry(cand)
-			if v == deleted || ks.set.Contains(v) {
-				continue
-			}
-			if ks.set.Len() < ks.cfg.X {
-				ks.set.Add(v)
-				n.mu.Unlock()
-				return
-			}
-			n.mu.Unlock()
-			return
-		}
-		n.mu.Unlock()
-	}
-}
-
-// handleRoundRemove executes the receiver side of the Fig. 11 protocol:
-//
-//	remove(v, head) @ server X:
-//	  if X == head: M[v] = 0; R[v] = u    // the entry at position head
-//	  if v stored here:
-//	    delete v; u = migrate_[head](v); store u at v's position
-//
-// The migrated replacement inherits the deleted entry's round-robin
-// position, preserving the invariant that position p's entry lives on
-// servers (p mod n)..(p+y-1 mod n) — without it, later deletions would
-// retire the wrong copies (the paper's pseudocode leaves this implicit
-// in its "plug the hole" picture, Fig. 10).
-func (n *Node) handleRoundRemove(ctx context.Context, m wire.RoundRemove) wire.Message {
-	v := entry.Entry(m.Entry)
-
-	n.mu.Lock()
-	ks, ok := n.keys[m.Key]
-	if !ok {
-		n.mu.Unlock()
-		return wire.Ack{}
-	}
-	if n.id == m.HeadServer {
-		// Choose the replacement: the local entry at position head.
-		// If v itself sits at the head position, the hole is at the
-		// head and no migration is needed (found stays false).
-		var u entry.Entry
-		found := false
-		for e, p := range ks.positions {
-			if p == m.HeadPos && e != v {
-				u, found = e, true
-				break
-			}
-		}
-		ks.migrations[v] = &migration{replacement: u, found: found, headPos: m.HeadPos}
-	}
-	holePos, hadPos := ks.positions[v]
-	had := ks.set.Remove(v)
-	delete(ks.positions, v)
-	n.mu.Unlock()
-
-	if !had {
-		return wire.Ack{}
-	}
-	reply, err := n.callReply(ctx, m.HeadServer, wire.Migrate{Key: m.Key, Entry: m.Entry})
-	if errors.Is(err, transport.ErrServerDown) {
-		// The head server is gone: no replacement is available, so the
-		// hole stays unplugged (entries on the failed head are lost
-		// anyway, Sec. 4.4).
-		return wire.Ack{}
-	}
-	if err != nil {
-		return wire.Ack{Err: err.Error()}
-	}
-	mr, ok := reply.(wire.MigrateReply)
-	if !ok {
-		return wire.Ack{Err: fmt.Sprintf("node: unexpected migrate reply %T", reply)}
-	}
-	if mr.Err != "" {
-		return wire.Ack{Err: mr.Err}
-	}
-	if mr.Found && mr.Replacement != m.Entry {
-		u := entry.Entry(mr.Replacement)
-		n.mu.Lock()
-		ks.set.Add(u)
-		if hadPos {
-			ks.positions[u] = holePos
-		}
-		n.mu.Unlock()
+	ks := n.store.GetOrCreate(m.Key, m.Config)
+	var after func()
+	ks.Update(func(st *store.State) {
+		after = execFor(st.Cfg.Scheme).removeOne(ctx, n, st, m)
+	})
+	if after != nil {
+		after()
 	}
 	return wire.Ack{}
-}
-
-// handleMigrate executes the head server's migrate(v) procedure of
-// Fig. 11: count requests and, once all y holders have migrated, retire
-// the replacement entry's original copies — position-checked, so the
-// copies that just migrated into the hole survive even when the head
-// range overlaps the hole range.
-func (n *Node) handleMigrate(ctx context.Context, m wire.Migrate) wire.Message {
-	v := entry.Entry(m.Entry)
-
-	n.mu.Lock()
-	ks, ok := n.keys[m.Key]
-	if !ok {
-		n.mu.Unlock()
-		return wire.MigrateReply{Err: "node: migrate for unknown key"}
-	}
-	mig, ok := ks.migrations[v]
-	if !ok {
-		n.mu.Unlock()
-		return wire.MigrateReply{Err: "node: migrate without pending removal"}
-	}
-	mig.count++
-	done := mig.count >= ks.cfg.Y
-	if done {
-		delete(ks.migrations, v)
-	}
-	replacement, found, headPos := mig.replacement, mig.found, mig.headPos
-	cfg := ks.cfg
-	n.mu.Unlock()
-
-	if done && found {
-		// Remove R[v] from its original y consecutive homes
-		// (servers head .. head+y-1, i.e. this server onward).
-		numServers := n.numServers()
-		for i := 0; i < cfg.Y; i++ {
-			target := (n.id + i) % numServers
-			if err := n.callBestEffort(ctx, target, wire.RemoveAt{Key: m.Key, Entry: string(replacement), Pos: headPos}); err != nil {
-				return wire.MigrateReply{Err: err.Error()}
-			}
-		}
-	}
-	return wire.MigrateReply{Replacement: string(replacement), Found: found}
-}
-
-// handleRemoveAt retires one original copy of a migrated replacement:
-// the entry is deleted only if it still occupies the given round-robin
-// position.
-func (n *Node) handleRemoveAt(m wire.RemoveAt) wire.Message {
-	v := entry.Entry(m.Entry)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[m.Key]
-	if !ok {
-		return wire.Ack{}
-	}
-	if p, ok := ks.positions[v]; ok && p == m.Pos {
-		ks.set.Remove(v)
-		delete(ks.positions, v)
-	}
-	return wire.Ack{}
-}
-
-// handleCounterSync adopts mirrored Round-y coordinator counters
-// (footnote 1 generalization). Values are taken only if they advance
-// the local view, so replays and reordering are harmless.
-func (n *Node) handleCounterSync(m wire.CounterSync) wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[m.Key]
-	if !ok {
-		ks = n.state(m.Key, wire.Config{})
-	}
-	if m.Head > ks.head {
-		ks.head = m.Head
-	}
-	if m.Tail > ks.tail {
-		ks.tail = m.Tail
-	}
-	return wire.Ack{}
-}
-
-// coordinators returns how many servers mirror the Round-y counters.
-func coordinators(cfg wire.Config) int {
-	if cfg.Coordinators > 1 {
-		return cfg.Coordinators
-	}
-	return 1
-}
-
-// mirrorCounters best-effort syncs head/tail to the other coordinator
-// replicas; failed replicas are skipped (they re-learn on recovery
-// from the next successful sync they receive).
-func (n *Node) mirrorCounters(ctx context.Context, key string, cfg wire.Config, head, tail int) {
-	for c := 0; c < coordinators(cfg); c++ {
-		if c == n.id {
-			continue
-		}
-		// Errors (including down replicas) are intentionally dropped.
-		_, _ = n.callReply(ctx, c, wire.CounterSync{Key: key, Head: head, Tail: tail})
-	}
 }
 
 // handleDump returns the full local set for a key.
 func (n *Node) handleDump(m wire.Dump) wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[m.Key]
+	ks, ok := n.store.Get(m.Key)
 	if !ok {
 		return wire.DumpReply{}
 	}
-	members := ks.set.Members()
+	members := ks.Snapshot().Members()
 	out := make([]string, len(members))
 	for i, v := range members {
 		out[i] = string(v)
@@ -725,74 +273,37 @@ func (n *Node) handleDump(m wire.Dump) wire.Message {
 // snapshots that must not perturb message counters. It returns an empty
 // set for unknown keys.
 func (n *Node) LocalSet(key string) *entry.Set {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[key]
+	ks, ok := n.store.Get(key)
 	if !ok {
 		return entry.NewSet(0)
 	}
-	return ks.set.Clone()
+	var c *entry.Set
+	ks.View(func(st *store.State) { c = st.Set.Clone() })
+	return c
 }
 
 // LocalLen returns the number of entries the node stores for a key,
 // without copying the set (hot path for time-weighted probes).
 func (n *Node) LocalLen(key string) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[key]
+	ks, ok := n.store.Get(key)
 	if !ok {
 		return 0
 	}
-	return ks.set.Len()
+	return ks.Len()
 }
 
 // EntryCount returns the total number of entries the node stores across
 // all keys: the per-server storage gauge from which live load skew (the
 // operational analogue of the paper's unfairness input) is computed.
-func (n *Node) EntryCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	total := 0
-	for _, ks := range n.keys {
-		total += ks.set.Len()
-	}
-	return total
-}
+func (n *Node) EntryCount() int { return n.store.EntryCount() }
 
 // KeyCount returns the number of keys the node holds state for.
-func (n *Node) KeyCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.keys)
-}
-
-// SystemCount returns the node's local estimate of the number of entries
-// in the system for a key (maintained by the RandomServer protocol).
-func (n *Node) SystemCount(key string) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[key]
-	if !ok {
-		return 0
-	}
-	return ks.hCount
-}
-
-// Counters returns the Round-Robin coordinator's (head, tail) for a key.
-func (n *Node) Counters(key string) (head, tail int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ks, ok := n.keys[key]
-	if !ok {
-		return 0, 0
-	}
-	return ks.head, ks.tail
-}
+func (n *Node) KeyCount() int { return n.store.Keys() }
 
 // numServers reads the cluster size from the peer caller.
 func (n *Node) numServers() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
 	if n.peers == nil {
 		return 0
 	}
@@ -826,9 +337,9 @@ func (n *Node) call(ctx context.Context, server int, msg wire.Message) error {
 }
 
 func (n *Node) callReply(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
-	n.mu.Lock()
+	n.peersMu.RLock()
 	peers := n.peers
-	n.mu.Unlock()
+	n.peersMu.RUnlock()
 	if peers == nil {
 		return nil, fmt.Errorf("node %d: no peer caller attached", n.id)
 	}
@@ -864,44 +375,45 @@ func (n *Node) ackBroadcast(ctx context.Context, msg wire.Message) wire.Message 
 	return wire.Ack{}
 }
 
-// PartitionServer returns the single server responsible for a key
-// under the traditional hashing baseline (Fig. 1 center).
-func PartitionServer(key string, n int) int {
-	if n <= 0 {
-		return 0
-	}
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return int(h.Sum64() % uint64(n))
+// lockedRNG serializes access to the node's seeded RNG so concurrent
+// handlers can share one deterministic stream. Each method holds the
+// lock for exactly one draw (or one bulk draw), keeping the critical
+// section tiny on the lookup path.
+type lockedRNG struct {
+	mu  sync.Mutex
+	rng *stats.RNG
 }
 
-// HashAssign returns the distinct servers f1(v)..fy(v) that Hash-y
-// assigns entry v to, in a cluster of n servers. The paper leaves the
-// hash family abstract; we hash the entry once with FNV-1a and derive
-// each f_i by a SplitMix64 finalizer over (hash + seed + i·φ) — raw FNV
-// bits are too structured for short keys like "v17" to behave as
-// independent uniform functions (documented substitution in DESIGN.md).
-// seed selects the family; experiments draw a fresh one per run to
-// average over families, as the paper's simulations do.
-func HashAssign(v string, y, n int, seed uint64) []int {
-	if n <= 0 || y <= 0 {
-		return nil
-	}
-	h := fnv.New64a()
-	h.Write([]byte(v))
-	base := h.Sum64() ^ seed
-	targets := make([]int, 0, y)
-	seen := make(map[int]bool, y)
-	for i := 0; i < y; i++ {
-		z := base + uint64(i+1)*0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		z ^= z >> 31
-		target := int(z % uint64(n))
-		if !seen[target] {
-			seen[target] = true
-			targets = append(targets, target)
-		}
-	}
-	return targets
+var _ entry.Sampler = (*lockedRNG)(nil)
+
+// IntN returns a uniform int in [0, n).
+func (r *lockedRNG) IntN(n int) int {
+	r.mu.Lock()
+	v := r.rng.IntN(n)
+	r.mu.Unlock()
+	return v
+}
+
+// Bool returns true with probability p.
+func (r *lockedRNG) Bool(p float64) bool {
+	r.mu.Lock()
+	v := r.rng.Bool(p)
+	r.mu.Unlock()
+	return v
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *lockedRNG) Perm(n int) []int {
+	r.mu.Lock()
+	p := r.rng.Perm(n)
+	r.mu.Unlock()
+	return p
+}
+
+// SampleInts returns k distinct uniform values from [0, n).
+func (r *lockedRNG) SampleInts(n, k int) []int {
+	r.mu.Lock()
+	v := r.rng.SampleInts(n, k)
+	r.mu.Unlock()
+	return v
 }

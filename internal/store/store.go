@@ -1,0 +1,235 @@
+// Package store owns all per-key server state for a lookup node: a
+// sharded, striped-lock key→state map with copy-on-write entry-set
+// snapshots for the read path.
+//
+// The paper's server is a per-key state machine (Secs. 5.2–5.5): no
+// operation ever touches two keys' state. The store exploits exactly
+// that independence. Keys are hashed over a fixed array of shards, each
+// guarded by its own RWMutex, so traffic on different keys contends only
+// when the keys collide on a shard. Within a key, mutations run under
+// the KeyState lock, while partial_lookup reads sample an immutable
+// snapshot published with one atomic load — a read never blocks a
+// writer, and writers on other keys never block a read.
+//
+// The snapshot is maintained copy-on-write, invalidate-on-write: a
+// mutation clears the published snapshot (one atomic store), and the
+// next reader rebuilds it from the live set. Lookup-heavy workloads —
+// the paper's whole premise — therefore pay the clone once per write,
+// not once per read, and an idle key costs nothing.
+//
+// The store is strategy-agnostic: scheme-specific state (RandomServer
+// counters, Round-Robin positions and migrations) lives behind the
+// opaque Ext field, owned by the per-strategy executors in package node.
+package store
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/entry"
+	"repro/internal/wire"
+)
+
+// numShards is the stripe width. A fixed power of two keeps the shard
+// index a mask operation; 64 stripes keep the collision probability
+// negligible for any realistic GOMAXPROCS without bloating an idle
+// store (a shard is one mutex and one small map).
+const numShards = 64
+
+// State is the mutable per-key view passed to Update and View
+// callbacks. Callbacks must not retain the *State or any interior
+// pointer past their return; the key lock is held only for the call.
+type State struct {
+	// Cfg is the strategy configuration installed by the first
+	// config-carrying message for the key.
+	Cfg wire.Config
+	// Set is the live local entry set. Mutating it outside Update is a
+	// data race.
+	Set *entry.Set
+	// Ext holds strategy-owned extension state (e.g. the Round-Robin
+	// coordinator counters); the store never inspects it.
+	Ext any
+}
+
+// KeyState is one key's slot in the store: the live state under a
+// per-key mutex, plus the copy-on-write snapshot for lock-free reads.
+type KeyState struct {
+	mu sync.Mutex
+	st State
+	// snap is the published read-only snapshot of st.Set, nil when a
+	// mutation has invalidated it. Readers treat a loaded snapshot as
+	// immutable; writers only ever clear it.
+	snap atomic.Pointer[entry.Set]
+}
+
+// Update runs f with the key locked and invalidates the read snapshot
+// afterwards. All mutations — entry-set changes, config adoption,
+// extension-state updates — go through here.
+func (k *KeyState) Update(f func(*State)) {
+	k.mu.Lock()
+	f(&k.st)
+	k.snap.Store(nil)
+	k.mu.Unlock()
+}
+
+// View runs f with the key locked, without invalidating the snapshot.
+// f must not mutate the state; use it for multi-field reads that need
+// consistency (e.g. the Round-Robin head and tail together).
+func (k *KeyState) View(f func(*State)) {
+	k.mu.Lock()
+	f(&k.st)
+	k.mu.Unlock()
+}
+
+// Snapshot returns an immutable view of the key's entry set, building
+// and publishing it if a mutation invalidated the previous one. The
+// fast path is a single atomic load; callers must not mutate the
+// returned set.
+func (k *KeyState) Snapshot() *entry.Set {
+	if s := k.snap.Load(); s != nil {
+		return s
+	}
+	k.mu.Lock()
+	// Re-check under the lock: another reader may have republished.
+	s := k.snap.Load()
+	if s == nil {
+		s = k.st.Set.Clone()
+		k.snap.Store(s)
+	}
+	k.mu.Unlock()
+	return s
+}
+
+// Config returns the key's current strategy configuration.
+func (k *KeyState) Config() wire.Config {
+	k.mu.Lock()
+	cfg := k.st.Cfg
+	k.mu.Unlock()
+	return cfg
+}
+
+// Len returns the live entry-set size without cloning.
+func (k *KeyState) Len() int {
+	k.mu.Lock()
+	n := k.st.Set.Len()
+	k.mu.Unlock()
+	return n
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	keys map[string]*KeyState
+}
+
+// Store is a sharded per-key state store. The zero value is not usable;
+// call New.
+type Store struct {
+	shards [numShards]shard
+	seed   maphash.Seed
+	// keyCount tracks the total number of keys across shards, so the
+	// node.keys gauge needs no shard sweep.
+	keyCount atomic.Int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].keys = make(map[string]*KeyState)
+	}
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[maphash.String(s.seed, key)&(numShards-1)]
+}
+
+// Get returns the state for key, or (nil, false) if the key is unknown.
+func (s *Store) Get(key string) (*KeyState, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	ks, ok := sh.keys[key]
+	sh.mu.RUnlock()
+	return ks, ok
+}
+
+// GetOrCreate returns the state for key, creating it on first sight
+// with cfg. An existing key whose config was installed without a valid
+// scheme (e.g. by a bare CounterSync) adopts cfg — the same lazy config
+// adoption the monolithic node performed. Strategy extension state is
+// not created here; executors initialize Ext lazily inside their Update
+// callbacks.
+func (s *Store) GetOrCreate(key string, cfg wire.Config) *KeyState {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	ks, ok := sh.keys[key]
+	sh.mu.RUnlock()
+	if !ok {
+		sh.mu.Lock()
+		ks, ok = sh.keys[key]
+		if !ok {
+			ks = &KeyState{st: State{Cfg: cfg, Set: entry.NewSet(0)}}
+			sh.keys[key] = ks
+			s.keyCount.Add(1)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return ks
+		}
+	}
+	// Adopt cfg only when the stored config is still schemeless, so the
+	// common path costs one short lock and never invalidates snapshots.
+	if cfg.Scheme.Valid() && !ks.Config().Scheme.Valid() {
+		ks.Update(func(st *State) {
+			if !st.Cfg.Scheme.Valid() {
+				st.Cfg = cfg
+			}
+		})
+	}
+	return ks
+}
+
+// Keys returns the number of keys the store holds state for.
+func (s *Store) Keys() int { return int(s.keyCount.Load()) }
+
+// EntryCount returns the total number of entries across all keys: the
+// per-server storage gauge.
+func (s *Store) EntryCount() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, ks := range sh.keys {
+			total += ks.Len()
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Range calls f for every key until f returns false. The iteration
+// order is unspecified; f runs without any shard lock held for the
+// KeyState itself, so it may call Update/View/Snapshot freely.
+func (s *Store) Range(f func(key string, ks *KeyState) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		// Copy the slot pointers so f runs without the shard lock (f
+		// may take key locks, and holding both invites deadlock).
+		type slot struct {
+			key string
+			ks  *KeyState
+		}
+		slots := make([]slot, 0, len(sh.keys))
+		for k, ks := range sh.keys {
+			slots = append(slots, slot{k, ks})
+		}
+		sh.mu.RUnlock()
+		for _, sl := range slots {
+			if !f(sl.key, sl.ks) {
+				return
+			}
+		}
+	}
+}

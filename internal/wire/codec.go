@@ -93,6 +93,36 @@ func Encode(msg Message) []byte {
 	case DumpReply:
 		e.strs(m.Entries)
 		e.str(m.Err)
+	case PlaceBatch:
+		e.uvarint(uint64(len(m.Items)))
+		for _, it := range m.Items {
+			e.str(it.Key)
+			e.config(it.Config)
+			e.strs(it.Entries)
+		}
+	case AddBatch:
+		e.uvarint(uint64(len(m.Items)))
+		for _, it := range m.Items {
+			e.str(it.Key)
+			e.config(it.Config)
+			e.str(it.Entry)
+		}
+	case LookupBatch:
+		e.uvarint(uint64(len(m.Items)))
+		for _, it := range m.Items {
+			e.str(it.Key)
+			e.uvarint(uint64(it.T))
+		}
+	case BatchAck:
+		e.strs(m.Errs)
+		e.str(m.Err)
+	case LookupBatchReply:
+		e.uvarint(uint64(len(m.Replies)))
+		for _, r := range m.Replies {
+			e.strs(r.Entries)
+			e.str(r.Err)
+		}
+		e.str(m.Err)
 	default:
 		panic(fmt.Sprintf("wire: Encode called with unregistered message type %T", msg))
 	}
@@ -259,6 +289,82 @@ func Decode(data []byte) (Message, error) {
 			m.Err, err = d.str()
 		}
 		msg = m
+	case KindPlaceBatch:
+		var m PlaceBatch
+		var n int
+		if n, err = d.batchLen(); err == nil && n > 0 {
+			m.Items = make([]Place, 0, min(n, 1024))
+			for i := 0; i < n && err == nil; i++ {
+				var it Place
+				it.Key, err = d.str()
+				if err == nil {
+					it.Config, err = d.config()
+				}
+				if err == nil {
+					it.Entries, err = d.strs()
+				}
+				m.Items = append(m.Items, it)
+			}
+		}
+		msg = m
+	case KindAddBatch:
+		var m AddBatch
+		var n int
+		if n, err = d.batchLen(); err == nil && n > 0 {
+			m.Items = make([]Add, 0, min(n, 1024))
+			for i := 0; i < n && err == nil; i++ {
+				var it Add
+				it.Key, err = d.str()
+				if err == nil {
+					it.Config, err = d.config()
+				}
+				if err == nil {
+					it.Entry, err = d.str()
+				}
+				m.Items = append(m.Items, it)
+			}
+		}
+		msg = m
+	case KindLookupBatch:
+		var m LookupBatch
+		var n int
+		if n, err = d.batchLen(); err == nil && n > 0 {
+			m.Items = make([]Lookup, 0, min(n, 1024))
+			for i := 0; i < n && err == nil; i++ {
+				var it Lookup
+				it.Key, err = d.str()
+				if err == nil {
+					it.T, err = d.intval()
+				}
+				m.Items = append(m.Items, it)
+			}
+		}
+		msg = m
+	case KindBatchAck:
+		var m BatchAck
+		m.Errs, err = d.strs()
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
+	case KindLookupBatchReply:
+		var m LookupBatchReply
+		var n int
+		if n, err = d.batchLen(); err == nil && n > 0 {
+			m.Replies = make([]LookupReply, 0, min(n, 1024))
+			for i := 0; i < n && err == nil; i++ {
+				var r LookupReply
+				r.Entries, err = d.strs()
+				if err == nil {
+					r.Err, err = d.str()
+				}
+				m.Replies = append(m.Replies, r)
+			}
+		}
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknown, kind)
 	}
@@ -372,6 +478,18 @@ func (d *decoder) str() (string, error) {
 	s := string(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s, nil
+}
+
+// batchLen reads and bounds the item count of a batch envelope.
+func (d *decoder) batchLen() (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxSliceLen {
+		return 0, ErrOversized
+	}
+	return int(n), nil
 }
 
 func (d *decoder) strs() ([]string, error) {

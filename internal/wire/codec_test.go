@@ -33,6 +33,16 @@ func allMessages() []Message {
 		MigrateReply{Replacement: "v1", Found: true},
 		MigrateReply{Found: false, Err: "pending removal missing"},
 		DumpReply{Entries: []string{"v1"}},
+		PlaceBatch{Items: []Place{
+			{Key: "a", Config: cfg, Entries: []string{"v1", "v2"}},
+			{Key: "b", Config: cfg},
+		}},
+		AddBatch{Items: []Add{{Key: "a", Config: cfg, Entry: "v1"}, {Key: "b", Config: cfg, Entry: "v2"}}},
+		LookupBatch{Items: []Lookup{{Key: "a", T: 5}, {Key: "b", T: 10}}},
+		LookupBatch{},
+		BatchAck{Errs: []string{"", "boom"}},
+		BatchAck{Err: "envelope rejected"},
+		LookupBatchReply{Replies: []LookupReply{{Entries: []string{"x"}}, {Err: "thin"}}},
 	}
 }
 

@@ -173,6 +173,11 @@ const (
 	KindLookupReply
 	KindMigrateReply
 	KindDumpReply
+	KindPlaceBatch
+	KindAddBatch
+	KindLookupBatch
+	KindBatchAck
+	KindLookupBatchReply
 )
 
 // Message is implemented by every protocol message.
@@ -284,6 +289,29 @@ type Migrate struct {
 	Entry string
 }
 
+// PlaceBatch carries many place(k, {v1..vh}) requests in one envelope,
+// amortizing one network round trip (and, server-side, one dispatch)
+// across keys. The receiving server executes each item exactly as it
+// would a standalone Place and reports per-item outcomes in a BatchAck.
+// Items must share an initial server: the client groups keys by route
+// (Round-y coordinator, KeyPartition home, or one random server).
+type PlaceBatch struct {
+	Items []Place
+}
+
+// AddBatch carries many add(k, v) requests in one envelope; see
+// PlaceBatch for routing and reply semantics.
+type AddBatch struct {
+	Items []Add
+}
+
+// LookupBatch carries many partial_lookup probes in one envelope: one
+// round trip asks a single server about many keys. The reply holds one
+// LookupReply per item, in order.
+type LookupBatch struct {
+	Items []Lookup
+}
+
 // Dump asks a server for its complete local entry set for a key
 // (debugging, integration tests, metric snapshots over TCP).
 type Dump struct {
@@ -320,22 +348,41 @@ type DumpReply struct {
 	Err     string
 }
 
+// BatchAck is the reply to PlaceBatch and AddBatch: Errs[i] is the
+// per-item outcome ("" on success), always len(Items) long. Err reports
+// an envelope-level failure (e.g. a malformed batch) instead.
+type BatchAck struct {
+	Errs []string
+	Err  string
+}
+
+// LookupBatchReply answers a LookupBatch: Replies[i] answers Items[i].
+type LookupBatchReply struct {
+	Replies []LookupReply
+	Err     string
+}
+
 // Kind implementations.
 
-func (Place) Kind() Kind        { return KindPlace }
-func (Add) Kind() Kind          { return KindAdd }
-func (Delete) Kind() Kind       { return KindDelete }
-func (Lookup) Kind() Kind       { return KindLookup }
-func (StoreBatch) Kind() Kind   { return KindStoreBatch }
-func (StoreOne) Kind() Kind     { return KindStoreOne }
-func (RemoveOne) Kind() Kind    { return KindRemoveOne }
-func (RoundRemove) Kind() Kind  { return KindRoundRemove }
-func (RemoveAt) Kind() Kind     { return KindRemoveAt }
-func (CounterSync) Kind() Kind  { return KindCounterSync }
-func (Migrate) Kind() Kind      { return KindMigrate }
-func (Dump) Kind() Kind         { return KindDump }
-func (Ping) Kind() Kind         { return KindPing }
-func (Ack) Kind() Kind          { return KindAck }
-func (LookupReply) Kind() Kind  { return KindLookupReply }
-func (MigrateReply) Kind() Kind { return KindMigrateReply }
-func (DumpReply) Kind() Kind    { return KindDumpReply }
+func (Place) Kind() Kind            { return KindPlace }
+func (Add) Kind() Kind              { return KindAdd }
+func (Delete) Kind() Kind           { return KindDelete }
+func (Lookup) Kind() Kind           { return KindLookup }
+func (StoreBatch) Kind() Kind       { return KindStoreBatch }
+func (StoreOne) Kind() Kind         { return KindStoreOne }
+func (RemoveOne) Kind() Kind        { return KindRemoveOne }
+func (RoundRemove) Kind() Kind      { return KindRoundRemove }
+func (RemoveAt) Kind() Kind         { return KindRemoveAt }
+func (CounterSync) Kind() Kind      { return KindCounterSync }
+func (Migrate) Kind() Kind          { return KindMigrate }
+func (Dump) Kind() Kind             { return KindDump }
+func (Ping) Kind() Kind             { return KindPing }
+func (Ack) Kind() Kind              { return KindAck }
+func (LookupReply) Kind() Kind      { return KindLookupReply }
+func (MigrateReply) Kind() Kind     { return KindMigrateReply }
+func (DumpReply) Kind() Kind        { return KindDumpReply }
+func (PlaceBatch) Kind() Kind       { return KindPlaceBatch }
+func (AddBatch) Kind() Kind         { return KindAddBatch }
+func (LookupBatch) Kind() Kind      { return KindLookupBatch }
+func (BatchAck) Kind() Kind         { return KindBatchAck }
+func (LookupBatchReply) Kind() Kind { return KindLookupBatchReply }

@@ -113,6 +113,7 @@ func TestMessageKinds(t *testing.T) {
 		Place{}, Add{}, Delete{}, Lookup{}, StoreBatch{}, StoreOne{},
 		RemoveOne{}, RoundRemove{}, Migrate{}, Dump{}, Ping{}, Ack{},
 		LookupReply{}, MigrateReply{}, DumpReply{},
+		PlaceBatch{}, AddBatch{}, LookupBatch{}, BatchAck{}, LookupBatchReply{},
 	}
 	seen := make(map[Kind]bool)
 	for _, m := range msgs {
