@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -37,6 +37,10 @@ cover:
 # One testing.B benchmark per paper table/figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Failure-aware selector on/off comparison under chaos (BENCH_select.json).
+select-bench:
+	$(GO) run ./cmd/plsbench -select-bench BENCH_select.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

@@ -6,11 +6,14 @@
 //	plsbench [-exp table1|fig4|...|table2|all] [-fidelity quick|default|full]
 //	         [-format text|md] [-seed N]
 //	plsbench -node-bench BENCH_node.json [-node-bench-window 2s]
+//	plsbench -select-bench BENCH_select.json [-select-bench-rounds 15]
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
 // coarse-lock baseline, plus LookupBatch amortization, writing the
-// numbers as machine-readable JSON.
+// numbers as machine-readable JSON. The third form compares the
+// failure-aware selector on vs. off over an identical seeded chaos
+// workload: servers contacted per lookup and tail latency.
 //
 // At -fidelity full the runner approaches the paper's stated fidelity
 // (5000 runs per data point) and can take many minutes; default keeps
@@ -49,11 +52,16 @@ func run() error {
 		telOut   = flag.String("telemetry-out", "", "write a telemetry snapshot (per-experiment runs/durations, runtime stats) as JSON to this file")
 		nodeOut  = flag.String("node-bench", "", "run the node lock micro-benchmark instead of experiments and write BENCH_node.json-style output to this file")
 		nodeWin  = flag.Duration("node-bench-window", 2*time.Second, "measurement window per node-bench configuration")
+		selOut   = flag.String("select-bench", "", "run the selector on/off comparison under chaos instead of experiments and write BENCH_select.json-style output to this file")
+		selRnds  = flag.Int("select-bench-rounds", 15, "passes over the working set per select-bench arm")
 	)
 	flag.Parse()
 
 	if *nodeOut != "" {
 		return runNodeBench(*nodeOut, *nodeWin)
+	}
+	if *selOut != "" {
+		return runSelectBench(*selOut, *selRnds)
 	}
 
 	var fid bench.Fidelity

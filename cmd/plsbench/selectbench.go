@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/entry"
+	"repro/internal/selector"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Selector benchmark (-select-bench): measures the failure-aware
+// server selector's effect on the paper's client lookup cost (servers
+// contacted per lookup, Sec. 4.2) and on lookup latency, under a
+// chaos-injected cluster with skewed latencies and two drop-prone
+// servers. The identical seeded workload runs twice — selector off,
+// then on — and the JSON report (BENCH_select.json) carries both arms
+// plus the improvement ratios so CI can track the subsystem per commit.
+
+const (
+	selBenchServers = 8
+	selBenchKeys    = 32
+	selBenchEntries = 40
+	selBenchT       = 22
+	selBenchSeed    = 7
+)
+
+type selArmStats struct {
+	// Lookups is the number of lookups issued in this arm.
+	Lookups int `json:"lookups"`
+	// Satisfied counts lookups that reached the target t.
+	Satisfied int `json:"satisfied"`
+	// MeanContacted is the mean servers contacted per lookup — the
+	// paper's client lookup cost under faults.
+	MeanContacted float64 `json:"mean_contacted"`
+	// MeanMicros / P99Micros are per-lookup wall latency.
+	MeanMicros float64 `json:"mean_us"`
+	P99Micros  float64 `json:"p99_us"`
+	// Selector counters (zero in the off arm).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Demotions   int64 `json:"demotions"`
+}
+
+type selBenchReport struct {
+	Servers       int     `json:"servers"`
+	Keys          int     `json:"keys"`
+	EntriesPerKey int     `json:"entries_per_key"`
+	LookupT       int     `json:"lookup_t"`
+	Rounds        int     `json:"rounds"`
+	Seed          uint64  `json:"seed"`
+	DropServers   []int   `json:"drop_servers"`
+	DropRate      float64 `json:"drop_rate"`
+
+	Off selArmStats `json:"selector_off"`
+	On  selArmStats `json:"selector_on"`
+
+	// ContactedImprovement is off.MeanContacted / on.MeanContacted
+	// (>1 means the selector lowers lookup cost); P99Improvement the
+	// same ratio for tail latency.
+	ContactedImprovement float64 `json:"contacted_improvement"`
+	P99Improvement       float64 `json:"p99_improvement"`
+}
+
+func selBenchKey(k int) string { return fmt.Sprintf("sk-%d", k) }
+
+// runSelectArm builds one seeded cluster + service, injects the chaos
+// schedule, and drives rounds passes of partial lookups over the
+// working set.
+func runSelectArm(rounds int, withSelector bool) (selArmStats, error) {
+	ctx := context.Background()
+	rng := stats.NewRNG(selBenchSeed)
+	cl := cluster.New(selBenchServers, rng.Split())
+
+	reg := telemetry.NewRegistry()
+	opts := []core.Option{
+		core.WithSeed(rng.Uint64()),
+		core.WithDefaultConfig(core.Config{Scheme: core.Hash, Y: 2, Seed: 99}),
+	}
+	var sm *telemetry.SelectorMetrics
+	if withSelector {
+		sm = telemetry.NewSelectorMetrics(reg)
+		opts = append(opts, core.WithSelector(
+			selector.New(selBenchServers, selector.Options{Metrics: sm})))
+	}
+	svc, err := core.NewService(cl.Caller(), opts...)
+	if err != nil {
+		return selArmStats{}, err
+	}
+
+	// Working set first, faults second: placement traffic is clean, the
+	// measured lookups run entirely under chaos.
+	for k := 0; k < selBenchKeys; k++ {
+		if err := svc.Place(ctx, selBenchKey(k), entry.Synthetic(selBenchEntries)); err != nil {
+			return selArmStats{}, fmt.Errorf("place %s: %v", selBenchKey(k), err)
+		}
+	}
+	// Skewed latencies (100..700us by server), plus two drop-prone
+	// servers that also pay extra latency before failing — the shape a
+	// selector exists for: probing them costs time and rarely pays.
+	dropServers := []int{1, 5}
+	for i := 0; i < selBenchServers; i++ {
+		cl.SetLatency(i, time.Duration(i%4)*200*time.Microsecond+100*time.Microsecond, 100*time.Microsecond)
+	}
+	for _, i := range dropServers {
+		cl.SetLatency(i, 900*time.Microsecond, 200*time.Microsecond)
+		cl.SetDropRate(i, 0.6)
+	}
+
+	st := selArmStats{}
+	var lats []time.Duration
+	var contactedSum int
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < selBenchKeys; k++ {
+			start := time.Now()
+			res, err := svc.PartialLookup(ctx, selBenchKey(k), selBenchT)
+			lats = append(lats, time.Since(start))
+			if err != nil {
+				return selArmStats{}, fmt.Errorf("lookup %s: %v", selBenchKey(k), err)
+			}
+			st.Lookups++
+			contactedSum += res.Contacted
+			if res.Satisfied(selBenchT) {
+				st.Satisfied++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+	}
+	st.MeanContacted = float64(contactedSum) / float64(st.Lookups)
+	st.MeanMicros = float64(total) / float64(len(lats)) / float64(time.Microsecond)
+	st.P99Micros = float64(lats[int(0.99*float64(len(lats)-1))]) / float64(time.Microsecond)
+	if sm != nil {
+		st.CacheHits = sm.CacheHits.Value()
+		st.CacheMisses = sm.CacheMisses.Value()
+		st.Demotions = sm.Demotions.Value()
+	}
+	return st, nil
+}
+
+// runSelectBench executes both arms and writes the JSON report to path.
+func runSelectBench(path string, rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	report := selBenchReport{
+		Servers:       selBenchServers,
+		Keys:          selBenchKeys,
+		EntriesPerKey: selBenchEntries,
+		LookupT:       selBenchT,
+		Rounds:        rounds,
+		Seed:          selBenchSeed,
+		DropServers:   []int{1, 5},
+		DropRate:      0.6,
+	}
+	var err error
+	if report.Off, err = runSelectArm(rounds, false); err != nil {
+		return fmt.Errorf("select-bench off arm: %w", err)
+	}
+	if report.On, err = runSelectArm(rounds, true); err != nil {
+		return fmt.Errorf("select-bench on arm: %w", err)
+	}
+	report.ContactedImprovement = report.Off.MeanContacted / report.On.MeanContacted
+	report.P99Improvement = report.Off.P99Micros / report.On.P99Micros
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write -select-bench file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	fmt.Printf("select bench: contacted %.2f -> %.2f per lookup (%.2fx), p99 %.0fus -> %.0fus (%.2fx), satisfied %d/%d vs %d/%d, %d demotions\n",
+		report.Off.MeanContacted, report.On.MeanContacted, report.ContactedImprovement,
+		report.Off.P99Micros, report.On.P99Micros, report.P99Improvement,
+		report.Off.Satisfied, report.Off.Lookups,
+		report.On.Satisfied, report.On.Lookups,
+		report.On.Demotions)
+	return nil
+}

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/selector"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -69,6 +70,7 @@ func run() error {
 		backoff       = flag.Duration("backoff", 50*time.Millisecond, "delay before the first retry (doubles per retry)")
 		maxBackoff    = flag.Duration("max-backoff", time.Second, "cap on the per-retry delay")
 		hedgeAfter    = flag.Duration("hedge-after", 0, "send a second identical probe after this latency (0 = off)")
+		useSelector   = flag.Bool("selector", false, "adapt probe order to observed server health and cached per-key routes (multi-key verbs benefit most)")
 
 		// Client-side chaos injection, for exercising the resilience
 		// path against a real plsd cluster.
@@ -128,7 +130,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	svc, err := core.NewService(caller,
+	opts := []core.Option{
 		core.WithDefaultConfig(cfg),
 		core.WithLookupMetrics(lm),
 		core.WithLookupPolicy(core.LookupPolicy{
@@ -138,7 +140,14 @@ func run() error {
 			MaxBackoff:  *maxBackoff,
 			Jitter:      0.5,
 			HedgeAfter:  *hedgeAfter,
-		}))
+		}),
+	}
+	if *useSelector {
+		opts = append(opts, core.WithSelector(selector.New(len(addrs), selector.Options{
+			Metrics: telemetry.NewSelectorMetrics(reg),
+		})))
+	}
+	svc, err := core.NewService(caller, opts...)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/selector"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -45,6 +46,7 @@ func run() error {
 		seed    = flag.Uint64("seed", 0, "RNG seed for answer sampling (0 = derived from time)")
 		timeout = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
 		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
+		selObs  = flag.Bool("peer-selector", true, "score peer health (EWMA latency, failure streaks) and expose it via the admin endpoint")
 
 		// Chaos injection on outgoing peer traffic, for fault-tolerance
 		// drills against a live cluster (same middleware the simulator
@@ -100,6 +102,28 @@ func run() error {
 			})
 		}
 		peerCaller = chaos.Origin(*id)
+	}
+	if *selObs {
+		// Scoreboard on the raw (post-chaos) peer path, below the retry
+		// layer so every attempt is scored. The daemon's forwarding fan-out
+		// is fixed by key placement, so the scoreboard is observe-only
+		// here: it feeds the admin health gauges and selector counters.
+		sel := selector.New(len(addrs), selector.Options{
+			Metrics: telemetry.NewSelectorMetrics(reg),
+		})
+		peerCaller = selector.Observe(peerCaller, sel)
+		reg.NewGaugeVecFunc("selector.consec_failures", len(addrs), func(i int) int64 {
+			return int64(sel.Health()[i].ConsecFails)
+		})
+		reg.NewGaugeVecFunc("selector.open", len(addrs), func(i int) int64 {
+			if sel.Health()[i].Open {
+				return 1
+			}
+			return 0
+		})
+		reg.NewGaugeVecFunc("selector.ewma_ns", len(addrs), func(i int) int64 {
+			return int64(sel.Health()[i].EWMA)
+		})
 	}
 	if *retries > 1 {
 		peerCaller = transport.NewRetry(peerCaller, *retries, 25*time.Millisecond)

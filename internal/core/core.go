@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/entry"
+	"repro/internal/selector"
 	"repro/internal/stats"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
@@ -63,8 +64,13 @@ type Service struct {
 	classifier Classifier
 	policy     LookupPolicy
 	metrics    *telemetry.LookupMetrics
+	// selector, when set, adapts probe orders to observed server health
+	// and per-key routing history; drivers and the lookup transport
+	// chain are wired to it at construction.
+	selector *selector.Selector
 	// lookupCaller is the transport lookups probe through: the raw
-	// caller, or a policyCaller adding retries/hedging per probe.
+	// caller, possibly observed by the selector scoreboard, possibly
+	// wrapped by a policyCaller adding retries/hedging per probe.
 	lookupCaller transport.Caller
 
 	mu      sync.Mutex
@@ -117,6 +123,17 @@ func WithLookupMetrics(m *telemetry.LookupMetrics) Option {
 	return func(s *Service) { s.metrics = m }
 }
 
+// WithSelector installs the adaptive selection subsystem: a per-server
+// scoreboard fed by every lookup probe's outcome, plus a per-key
+// routing cache. Strategy drivers then visit cached answering servers
+// first and demote failing or slow servers, cutting the paper's client
+// lookup cost (servers contacted, Sec. 4.2) under faults. A cold
+// selector orders servers exactly like the seeded permutations, so
+// enabling it never perturbs a fault-free seeded run's first probes.
+func WithSelector(sel *selector.Selector) Option {
+	return func(s *Service) { s.selector = sel }
+}
+
 // NewService returns a service over the given transport.
 func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
 	if caller == nil {
@@ -143,9 +160,16 @@ func NewService(caller transport.Caller, opts ...Option) (*Service, error) {
 	if err := s.defaultCfg.Validate(caller.NumServers()); err != nil {
 		return nil, fmt.Errorf("core: default config: %w", err)
 	}
-	s.lookupCaller = s.caller
+	if s.selector != nil && s.selector.N() != caller.NumServers() {
+		return nil, fmt.Errorf("core: selector tracks %d servers, caller has %d",
+			s.selector.N(), caller.NumServers())
+	}
+	// Lookup transport chain, bottom-up: raw caller → selector observe
+	// hook (scores every attempt) → retry/hedging policy (each attempt
+	// it issues is scored individually).
+	s.lookupCaller = selector.Observe(s.caller, s.selector)
 	if s.policy.active() {
-		s.lookupCaller = &policyCaller{inner: s.caller, pol: s.policy, m: s.metrics, rng: s.rng.Split()}
+		s.lookupCaller = &policyCaller{inner: s.lookupCaller, pol: s.policy, m: s.metrics, rng: s.rng.Split()}
 	}
 	return s, nil
 }
@@ -197,6 +221,9 @@ func (s *Service) driverForConfigLocked(cfg Config) *strategy.Driver {
 	d, ok := s.drivers[cfg]
 	if !ok {
 		d = strategy.MustNew(cfg, s.rng.Split())
+		if s.selector != nil {
+			d.SetSelector(s.selector)
+		}
 		s.drivers[cfg] = d
 	}
 	return d

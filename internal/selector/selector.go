@@ -1,0 +1,572 @@
+// Package selector implements failure-aware server selection for the
+// strategy drivers: a per-server scoreboard (EWMA latency, consecutive
+// failure streaks, half-open recovery probes) fed by a transport
+// middleware hook, plus a bounded per-key routing cache remembering
+// which servers answered a key recently and which came back empty.
+//
+// The paper's client lookup cost (Sec. 4.2) is the expected number of
+// servers contacted to collect t of h entries; the scoreboard and cache
+// shrink it by trying a key's known-good servers first and demoting
+// servers that are failing or slow, in the spirit of multi-probe
+// load/latency-aware probe ordering. Ordering is a pure reshuffle of
+// the driver's seeded random permutation: a cold selector (no recorded
+// outcomes, empty cache) returns the permutation unchanged, so seeded
+// experiment outputs stay byte-identical until real signal exists.
+package selector
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options tune a Selector. The zero value of every field selects the
+// documented default.
+type Options struct {
+	// Alpha is the EWMA smoothing factor for per-server latency, in
+	// (0, 1]. Default 0.25.
+	Alpha float64
+	// FailThreshold is how many consecutive failures open (demote) a
+	// server. Default 3.
+	FailThreshold int
+	// ProbeAfter is how long an open server waits before the selector
+	// grants one half-open trial probe. Default 1s.
+	ProbeAfter time.Duration
+	// SlowFactor demotes a healthy server behind its healthy peers when
+	// its EWMA latency exceeds SlowFactor times the best healthy EWMA.
+	// Default 2.
+	SlowFactor float64
+	// CacheKeys bounds the routing cache: least-recently-used keys are
+	// evicted beyond this many. Default 4096.
+	CacheKeys int
+	// CacheServersPerKey bounds how many answering servers are
+	// remembered per key (the largest answers win). Default 4.
+	CacheServersPerKey int
+	// Metrics receives cache hit/miss, demotion, and half-open probe
+	// counters; nil records nothing.
+	Metrics *telemetry.SelectorMetrics
+	// Now overrides the clock for half-open timing (tests). Default
+	// time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.25
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeAfter <= 0 {
+		o.ProbeAfter = time.Second
+	}
+	if o.SlowFactor <= 1 {
+		o.SlowFactor = 2
+	}
+	if o.CacheKeys <= 0 {
+		o.CacheKeys = 4096
+	}
+	if o.CacheServersPerKey <= 0 {
+		o.CacheServersPerKey = 4
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// serverState is one server's scoreboard row.
+type serverState struct {
+	ewma        float64 // nanoseconds; meaningful only when samples > 0
+	samples     int64
+	consecFails int
+	open        bool // demoted after FailThreshold consecutive failures
+	lastFail    time.Time
+	probing     bool // a half-open trial has been granted and not resolved
+	probedAt    time.Time
+}
+
+// Selector is safe for concurrent use; one instance serves every driver
+// of a client (or the peer path of a server daemon).
+type Selector struct {
+	opt Options
+
+	mu           sync.Mutex
+	servers      []serverState
+	observations int64 // outcomes recorded; 0 and an empty cache = cold
+	cache        *routeCache
+}
+
+// New returns a selector for a cluster of n servers.
+func New(n int, opt Options) *Selector {
+	if n <= 0 {
+		panic(fmt.Sprintf("selector: New requires n > 0, got %d", n))
+	}
+	o := opt.withDefaults()
+	return &Selector{
+		opt:     o,
+		servers: make([]serverState, n),
+		cache:   newRouteCache(o.CacheKeys, o.CacheServersPerKey),
+	}
+}
+
+// N returns the cluster size the selector tracks.
+func (s *Selector) N() int { return len(s.servers) }
+
+// RecordSuccess feeds one successful call's latency into the
+// scoreboard; it closes an open server (the half-open trial passed).
+func (s *Selector) RecordSuccess(server int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.servers) {
+		return
+	}
+	st := &s.servers[server]
+	st.consecFails = 0
+	st.open = false
+	st.probing = false
+	if st.samples == 0 {
+		st.ewma = float64(d)
+	} else {
+		st.ewma = s.opt.Alpha*float64(d) + (1-s.opt.Alpha)*st.ewma
+	}
+	st.samples++
+	s.observations++
+}
+
+// RecordFailure feeds one server-attributable failure (a call matching
+// transport.ErrServerDown) into the scoreboard. Crossing FailThreshold
+// consecutive failures demotes the server to the back of every order
+// until a half-open probe succeeds.
+func (s *Selector) RecordFailure(server int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.servers) {
+		return
+	}
+	st := &s.servers[server]
+	st.consecFails++
+	st.lastFail = s.opt.Now()
+	st.probing = false
+	if !st.open && st.consecFails >= s.opt.FailThreshold {
+		st.open = true
+		s.opt.Metrics.RecordDemotion()
+	}
+	s.observations++
+}
+
+// RecordAnswer feeds the routing cache: server answered a lookup probe
+// for key with the given number of entries. Zero entries is a negative
+// entry — the server is live but useless for this key until an update
+// invalidates the verdict.
+func (s *Selector) RecordAnswer(key string, server int, entries int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.servers) {
+		return
+	}
+	s.cache.record(key, server, entries)
+}
+
+// Invalidate drops the whole routing-cache entry for a key (a place
+// rewrote the key's entire layout).
+func (s *Selector) Invalidate(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache.invalidate(key) {
+		s.opt.Metrics.RecordInvalidation()
+	}
+}
+
+// InvalidateNegatives drops a key's negative cache entries (an add or
+// delete may have changed which servers hold entries, so "answered
+// empty" is no longer trustworthy); positive entries self-correct on
+// the next answer.
+func (s *Selector) InvalidateNegatives(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache.invalidateNegatives(key) {
+		s.opt.Metrics.RecordInvalidation()
+	}
+}
+
+// tiers for order construction, best first.
+const (
+	tierCached   = 0 // cache says this server answered the key with entries
+	tierHealthy  = 1 // no adverse signal
+	tierSlow     = 2 // healthy but EWMA far behind the best healthy peer
+	tierHalfOpen = 3 // open, but granted one recovery trial
+	tierNegative = 4 // cache says the server answered this key empty
+	tierOpen     = 5 // failing; skipped until everything better is exhausted
+)
+
+// Order reorders the driver's seeded permutation base for one key's
+// lookup: cached answering servers first (largest recorded answers
+// leading), then healthy servers, slow servers, half-open trials,
+// negative-cached servers, and open servers last. Servers keep base's
+// relative order inside each tier, and a cold selector returns base
+// untouched — seeded runs only deviate once real signal exists. The
+// returned slice is freshly allocated; base is never mutated.
+func (s *Selector) Order(key string, base []int) []int {
+	if s == nil {
+		return base
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.observations == 0 && s.cache.len() == 0 {
+		return base
+	}
+	pos, neg := s.cache.routes(key)
+	if len(pos) > 0 {
+		s.opt.Metrics.RecordHit()
+	} else {
+		s.opt.Metrics.RecordMiss()
+	}
+	return s.orderLocked(base, pos, neg)
+}
+
+// OrderMulti is Order for a batched lookup's pending key set: positive
+// cache votes are pooled across the keys (a server's vote is its
+// recorded answer size, summed), and a server is negative only if every
+// pending key cached it negative.
+func (s *Selector) OrderMulti(keys []string, base []int) []int {
+	if s == nil {
+		return base
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.observations == 0 && s.cache.len() == 0 {
+		return base
+	}
+	votes := make(map[int]int)
+	negCount := make(map[int]int)
+	cachedKeys := 0
+	for _, key := range keys {
+		pos, neg := s.cache.routes(key)
+		if len(pos) > 0 || len(neg) > 0 {
+			cachedKeys++
+		}
+		for _, p := range pos {
+			votes[p.server] += p.entries
+		}
+		for _, sv := range neg {
+			negCount[sv]++
+		}
+	}
+	if len(votes) > 0 {
+		s.opt.Metrics.RecordHit()
+	} else {
+		s.opt.Metrics.RecordMiss()
+	}
+	pos := make([]posEntry, 0, len(votes))
+	for sv, v := range votes {
+		pos = append(pos, posEntry{server: sv, entries: v})
+	}
+	sortPos(pos)
+	var neg []int
+	for sv, c := range negCount {
+		if _, alsoPos := votes[sv]; !alsoPos && cachedKeys > 0 && c == cachedKeys {
+			neg = append(neg, sv)
+		}
+	}
+	return s.orderLocked(base, pos, neg)
+}
+
+// OrderGlobal reorders base by scoreboard health only (no key, no
+// cache): update routing and batch envelope delivery use it.
+func (s *Selector) OrderGlobal(base []int) []int {
+	if s == nil {
+		return base
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.observations == 0 && s.cache.len() == 0 {
+		return base
+	}
+	return s.orderLocked(base, nil, nil)
+}
+
+// orderLocked builds the tiered order. pos is sorted by recorded answer
+// size descending; neg lists servers cached negative for the key(s).
+func (s *Selector) orderLocked(base []int, pos []posEntry, neg []int) []int {
+	now := s.opt.Now()
+	bestEwma := 0.0
+	for i := range s.servers {
+		st := &s.servers[i]
+		if !st.open && st.samples > 0 && (bestEwma == 0 || st.ewma < bestEwma) {
+			bestEwma = st.ewma
+		}
+	}
+	inPos := make(map[int]int, len(pos)) // server -> rank in pos
+	for rank, p := range pos {
+		inPos[p.server] = rank
+	}
+	inNeg := make(map[int]bool, len(neg))
+	for _, sv := range neg {
+		inNeg[sv] = true
+	}
+
+	tierOf := func(server int) int {
+		st := &s.servers[server]
+		if st.open {
+			if s.grantProbeLocked(st, now) {
+				return tierHalfOpen
+			}
+			return tierOpen
+		}
+		if _, ok := inPos[server]; ok {
+			return tierCached
+		}
+		if inNeg[server] {
+			return tierNegative
+		}
+		if st.samples > 0 && bestEwma > 0 && st.ewma > s.opt.SlowFactor*bestEwma {
+			return tierSlow
+		}
+		return tierHealthy
+	}
+
+	byTier := make([][]int, tierOpen+1)
+	for _, server := range base {
+		if server < 0 || server >= len(s.servers) {
+			byTier[tierHealthy] = append(byTier[tierHealthy], server)
+			continue
+		}
+		t := tierOf(server)
+		byTier[t] = append(byTier[t], server)
+	}
+	// The cached tier orders by recorded answer size (rank in pos), not
+	// base order: the fattest known answer is the cheapest first probe.
+	cached := byTier[tierCached]
+	sortByRank(cached, inPos)
+
+	out := make([]int, 0, len(base))
+	for _, tier := range byTier {
+		out = append(out, tier...)
+	}
+	return out
+}
+
+// grantProbeLocked decides whether an open server gets a half-open
+// trial: one probe per ProbeAfter window since the last failure.
+func (s *Selector) grantProbeLocked(st *serverState, now time.Time) bool {
+	if now.Sub(st.lastFail) < s.opt.ProbeAfter {
+		return false
+	}
+	if st.probing && now.Sub(st.probedAt) < s.opt.ProbeAfter {
+		return false // an earlier grant is still outstanding
+	}
+	st.probing = true
+	st.probedAt = now
+	s.opt.Metrics.RecordHalfOpenProbe()
+	return true
+}
+
+// ServerHealth is one server's scoreboard snapshot.
+type ServerHealth struct {
+	// EWMA is the smoothed call latency (0 until a success is recorded).
+	EWMA time.Duration
+	// Samples is the number of successes folded into EWMA.
+	Samples int64
+	// ConsecFails is the current failure streak.
+	ConsecFails int
+	// Open reports whether the server is demoted behind all others.
+	Open bool
+}
+
+// Health snapshots the scoreboard, for admin gauges and tests.
+func (s *Selector) Health() []ServerHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ServerHealth, len(s.servers))
+	for i := range s.servers {
+		st := &s.servers[i]
+		out[i] = ServerHealth{
+			EWMA:        time.Duration(st.ewma),
+			Samples:     st.samples,
+			ConsecFails: st.consecFails,
+			Open:        st.open,
+		}
+	}
+	return out
+}
+
+// CachedKeys returns the number of keys currently in the routing cache.
+func (s *Selector) CachedKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// posEntry is one positive routing-cache record: server answered with
+// this many entries last time.
+type posEntry struct {
+	server  int
+	entries int
+}
+
+// sortPos orders positive entries by answer size descending, server id
+// ascending for determinism. Insertion sort: lists are at most a few
+// entries long.
+func sortPos(pos []posEntry) {
+	for i := 1; i < len(pos); i++ {
+		for j := i; j > 0; j-- {
+			a, b := pos[j-1], pos[j]
+			if a.entries > b.entries || (a.entries == b.entries && a.server < b.server) {
+				break
+			}
+			pos[j-1], pos[j] = b, a
+		}
+	}
+}
+
+// sortByRank orders servers by their rank in the positive list
+// (insertion sort over a handful of entries).
+func sortByRank(servers []int, rank map[int]int) {
+	for i := 1; i < len(servers); i++ {
+		for j := i; j > 0 && rank[servers[j]] < rank[servers[j-1]]; j-- {
+			servers[j], servers[j-1] = servers[j-1], servers[j]
+		}
+	}
+}
+
+// routeCache is the bounded per-key routing cache: an LRU over keys,
+// each remembering which servers answered (and how fully) and which
+// answered empty. It is guarded by the owning Selector's mutex.
+type routeCache struct {
+	maxKeys, perKey int
+	entries         map[string]*list.Element
+	lru             *list.List // of *keyRoutes, front = most recent
+}
+
+type keyRoutes struct {
+	key string
+	pos []posEntry // sorted by entries descending, length <= perKey
+	neg []int
+}
+
+func newRouteCache(maxKeys, perKey int) *routeCache {
+	return &routeCache{
+		maxKeys: maxKeys,
+		perKey:  perKey,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+func (c *routeCache) len() int { return c.lru.Len() }
+
+// touch returns the key's routes, creating and front-moving as needed.
+func (c *routeCache) touch(key string, create bool) *keyRoutes {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*keyRoutes)
+	}
+	if !create {
+		return nil
+	}
+	kr := &keyRoutes{key: key}
+	c.entries[key] = c.lru.PushFront(kr)
+	for c.lru.Len() > c.maxKeys {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*keyRoutes).key)
+	}
+	return kr
+}
+
+func (c *routeCache) record(key string, server, entries int) {
+	kr := c.touch(key, true)
+	if entries <= 0 {
+		// Negative: server answered but held nothing for this key.
+		kr.pos = removePos(kr.pos, server)
+		for _, sv := range kr.neg {
+			if sv == server {
+				return
+			}
+		}
+		kr.neg = append(kr.neg, server)
+		return
+	}
+	kr.neg = removeInt(kr.neg, server)
+	found := false
+	for i := range kr.pos {
+		if kr.pos[i].server == server {
+			kr.pos[i].entries = entries
+			found = true
+			break
+		}
+	}
+	if !found {
+		kr.pos = append(kr.pos, posEntry{server: server, entries: entries})
+	}
+	sortPos(kr.pos)
+	if len(kr.pos) > c.perKey {
+		kr.pos = kr.pos[:c.perKey]
+	}
+}
+
+// routes returns copies of the key's positive (sorted, best first) and
+// negative routes; nils when the key is uncached.
+func (c *routeCache) routes(key string) ([]posEntry, []int) {
+	kr := c.touch(key, false)
+	if kr == nil {
+		return nil, nil
+	}
+	return append([]posEntry(nil), kr.pos...), append([]int(nil), kr.neg...)
+}
+
+func (c *routeCache) invalidate(key string) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.lru.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
+func (c *routeCache) invalidateNegatives(key string) bool {
+	kr := c.touch(key, false)
+	if kr == nil || len(kr.neg) == 0 {
+		return false
+	}
+	kr.neg = nil
+	return true
+}
+
+func removePos(pos []posEntry, server int) []posEntry {
+	for i := range pos {
+		if pos[i].server == server {
+			return append(pos[:i], pos[i+1:]...)
+		}
+	}
+	return pos
+}
+
+func removeInt(xs []int, x int) []int {
+	for i := range xs {
+		if xs[i] == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}

@@ -1,0 +1,266 @@
+package selector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func base(n int) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = i
+	}
+	return b
+}
+
+// A cold selector must return every order untouched (and the very same
+// backing semantics a nil selector gives), so seeded runs stay
+// byte-identical until real signal exists.
+func TestColdSelectorIsIdentity(t *testing.T) {
+	s := New(8, Options{})
+	in := []int{5, 2, 7, 0, 1, 6, 3, 4}
+	for _, got := range [][]int{
+		s.Order("k", in),
+		s.OrderMulti([]string{"a", "b"}, in),
+		s.OrderGlobal(in),
+	} {
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("cold order = %v, want %v", got, in)
+		}
+	}
+	var nilSel *Selector
+	if got := nilSel.Order("k", in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("nil selector order = %v, want %v", got, in)
+	}
+}
+
+func TestOrderPrefersCachedServers(t *testing.T) {
+	s := New(6, Options{})
+	s.RecordAnswer("k", 4, 3)
+	s.RecordAnswer("k", 2, 9) // fatter answer: must lead
+	got := s.Order("k", base(6))
+	want := []int{2, 4, 0, 1, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	// A different key has no cached route and keeps base order.
+	if got := s.Order("other", base(6)); !reflect.DeepEqual(got, base(6)) {
+		t.Fatalf("uncached key order = %v, want identity", got)
+	}
+}
+
+func TestNegativeEntriesDemoteAndInvalidate(t *testing.T) {
+	s := New(4, Options{})
+	s.RecordAnswer("k", 1, 0) // negative: answered empty
+	got := s.Order("k", base(4))
+	want := []int{0, 2, 3, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	// add/delete invalidates negatives: order reverts to base.
+	s.InvalidateNegatives("k")
+	if got := s.Order("k", base(4)); !reflect.DeepEqual(got, base(4)) {
+		t.Fatalf("after InvalidateNegatives order = %v, want identity", got)
+	}
+	// A positive answer overwrites a negative verdict.
+	s.RecordAnswer("k", 1, 0)
+	s.RecordAnswer("k", 1, 5)
+	if got := s.Order("k", base(4)); !reflect.DeepEqual(got, []int{1, 0, 2, 3}) {
+		t.Fatalf("after positive overwrite order = %v", got)
+	}
+}
+
+func TestFailureStreakOpensAndHalfOpenRecovers(t *testing.T) {
+	now := time.Unix(1000, 0)
+	reg := telemetry.NewRegistry()
+	m := telemetry.NewSelectorMetrics(reg)
+	s := New(4, Options{
+		FailThreshold: 3,
+		ProbeAfter:    time.Second,
+		Metrics:       m,
+		Now:           func() time.Time { return now },
+	})
+	s.RecordFailure(1)
+	s.RecordFailure(1)
+	if got := s.Order("k", base(4)); !reflect.DeepEqual(got, base(4)) {
+		t.Fatalf("below threshold, order = %v, want identity", got)
+	}
+	s.RecordFailure(1) // crosses the threshold
+	if got := s.Order("k", base(4)); !reflect.DeepEqual(got, []int{0, 2, 3, 1}) {
+		t.Fatalf("open server not demoted: %v", got)
+	}
+	if m.Demotions.Value() != 1 {
+		t.Fatalf("demotions = %d, want 1", m.Demotions.Value())
+	}
+	if h := s.Health()[1]; !h.Open || h.ConsecFails != 3 {
+		t.Fatalf("health = %+v, want open with 3 fails", h)
+	}
+
+	// Before ProbeAfter: still fully demoted, no trial granted.
+	if m.HalfOpenProbes.Value() != 0 {
+		t.Fatalf("probe granted too early")
+	}
+	// After ProbeAfter the server gets one half-open trial; it sorts
+	// ahead of nothing but is no longer unconditionally last...
+	now = now.Add(2 * time.Second)
+	_ = s.Order("k", base(4))
+	if m.HalfOpenProbes.Value() != 1 {
+		t.Fatalf("half-open probes = %d, want 1", m.HalfOpenProbes.Value())
+	}
+	// ...and a second order inside the window does not grant another.
+	_ = s.Order("k", base(4))
+	if m.HalfOpenProbes.Value() != 1 {
+		t.Fatalf("second trial granted inside the window")
+	}
+
+	// A success closes the server entirely.
+	s.RecordSuccess(1, time.Millisecond)
+	if h := s.Health()[1]; h.Open || h.ConsecFails != 0 {
+		t.Fatalf("health after success = %+v, want closed", h)
+	}
+}
+
+func TestSlowServerSortsBehindFastPeers(t *testing.T) {
+	s := New(3, Options{SlowFactor: 2})
+	s.RecordSuccess(0, time.Millisecond)
+	s.RecordSuccess(2, 10*time.Millisecond) // 10x the best: slow tier
+	got := s.Order("k", base(3))
+	// Server 1 has no samples: neutral, stays healthy tier with 0.
+	want := []int{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if got := s.Order("k", []int{2, 1, 0}); !reflect.DeepEqual(got, []int{1, 0, 2}) {
+		t.Fatalf("order = %v, want slow server last", got)
+	}
+}
+
+func TestRouteCacheLRUBound(t *testing.T) {
+	s := New(2, Options{CacheKeys: 3})
+	for i := 0; i < 5; i++ {
+		s.RecordAnswer(fmt.Sprintf("k%d", i), 1, 2)
+	}
+	if got := s.CachedKeys(); got != 3 {
+		t.Fatalf("cached keys = %d, want 3", got)
+	}
+	// The oldest keys were evicted: their order is identity again even
+	// though the cache is warm.
+	if got := s.Order("k0", base(2)); !reflect.DeepEqual(got, base(2)) {
+		t.Fatalf("evicted key order = %v, want identity", got)
+	}
+	// The newest survived.
+	if got := s.Order("k4", base(2)); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Fatalf("fresh key order = %v, want cached first", got)
+	}
+}
+
+func TestCachePerKeyServerBound(t *testing.T) {
+	s := New(8, Options{CacheServersPerKey: 2})
+	s.RecordAnswer("k", 0, 1)
+	s.RecordAnswer("k", 1, 5)
+	s.RecordAnswer("k", 2, 3)
+	got := s.Order("k", base(8))
+	// Only the two largest answers are remembered: 1 (5 entries) then
+	// 2 (3 entries); server 0 fell off the bounded list.
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order = %v, want servers 1,2 first", got)
+	}
+}
+
+func TestOrderMultiPoolsVotes(t *testing.T) {
+	s := New(4, Options{})
+	s.RecordAnswer("a", 3, 2)
+	s.RecordAnswer("b", 3, 2)
+	s.RecordAnswer("b", 1, 3)
+	// Server 3 has 4 pooled entries across keys, server 1 has 3.
+	got := s.OrderMulti([]string{"a", "b"}, base(4))
+	if got[0] != 3 || got[1] != 1 {
+		t.Fatalf("multi order = %v, want 3,1 first", got)
+	}
+	// Negative only when every cached pending key says negative.
+	s.RecordAnswer("a", 0, 0)
+	s.RecordAnswer("b", 0, 0)
+	got = s.OrderMulti([]string{"a", "b"}, base(4))
+	if got[len(got)-1] != 0 {
+		t.Fatalf("multi order = %v, want 0 last", got)
+	}
+}
+
+func TestInvalidateDropsKey(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := telemetry.NewSelectorMetrics(reg)
+	s := New(4, Options{Metrics: m})
+	s.RecordAnswer("k", 2, 5)
+	s.Invalidate("k")
+	// Cache is now empty and no scoreboard signal exists: fully cold.
+	if got := s.Order("k", base(4)); !reflect.DeepEqual(got, base(4)) {
+		t.Fatalf("order after invalidate = %v, want identity", got)
+	}
+	if m.Invalidations.Value() != 1 {
+		t.Fatalf("invalidations = %d, want 1", m.Invalidations.Value())
+	}
+	s.Invalidate("k") // absent: not counted
+	if m.Invalidations.Value() != 1 {
+		t.Fatalf("absent invalidate counted")
+	}
+}
+
+// scriptCaller fails or succeeds per server for the observe middleware.
+type scriptCaller struct {
+	n    int
+	down map[int]bool
+}
+
+func (c *scriptCaller) NumServers() int { return c.n }
+
+func (c *scriptCaller) Call(ctx context.Context, server int, _ wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.down[server] {
+		return nil, fmt.Errorf("%w: server %d", transport.ErrServerDown, server)
+	}
+	return wire.Ack{}, nil
+}
+
+func TestObserveFeedsScoreboard(t *testing.T) {
+	s := New(3, Options{FailThreshold: 2})
+	obs := Observe(&scriptCaller{n: 3, down: map[int]bool{1: true}}, s)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := obs.Call(ctx, 1, wire.Ack{}); !errors.Is(err, transport.ErrServerDown) {
+			t.Fatalf("want ErrServerDown, got %v", err)
+		}
+	}
+	if _, err := obs.Call(ctx, 0, wire.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Health()
+	if !h[1].Open {
+		t.Fatalf("server 1 not opened: %+v", h[1])
+	}
+	if h[0].Samples != 1 || h[0].EWMA <= 0 {
+		t.Fatalf("server 0 success not recorded: %+v", h[0])
+	}
+	// A cancelled context is attributed to neither side.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	before := s.Health()[2]
+	_, _ = obs.Call(cancelled, 2, wire.Ack{})
+	if after := s.Health()[2]; after != before {
+		t.Fatalf("context error recorded: %+v -> %+v", before, after)
+	}
+	// Observe with a nil selector is the identity middleware.
+	inner := &scriptCaller{n: 3}
+	if got := Observe(inner, nil); got != transport.Caller(inner) {
+		t.Fatalf("Observe(nil selector) should return inner")
+	}
+}

@@ -40,6 +40,7 @@ func (d *Driver) PlaceBatch(ctx context.Context, c transport.Caller, items []Pla
 	}
 	wireItems := make([]wire.Place, len(items))
 	for i, it := range items {
+		d.sel.Invalidate(it.Key)
 		wireItems[i] = wire.Place{Key: it.Key, Config: d.cfg, Entries: toStrings(it.Entries)}
 	}
 	d.sendBatches(ctx, c, errs, func(idxs []int) wire.Message {
@@ -62,6 +63,7 @@ func (d *Driver) AddBatch(ctx context.Context, c transport.Caller, items []AddIt
 	}
 	wireItems := make([]wire.Add, len(items))
 	for i, it := range items {
+		d.sel.InvalidateNegatives(it.Key)
 		wireItems[i] = wire.Add{Key: it.Key, Config: d.cfg, Entry: string(it.Entry)}
 	}
 	d.sendBatches(ctx, c, errs, func(idxs []int) wire.Message {
@@ -120,7 +122,7 @@ func (d *Driver) sendBatches(ctx context.Context, c transport.Caller, errs []err
 			route[i] = i
 		}
 	} else {
-		route = d.perm(c.NumServers())
+		route = d.orderGlobal(c.NumServers())
 	}
 	d.deliverBatch(ctx, c, route, build(all), all, errs)
 }
@@ -256,7 +258,7 @@ func (d *Driver) PartialLookupBatch(ctx context.Context, c transport.Caller, key
 		for i := range all {
 			all[i] = i
 		}
-		for _, server := range d.perm(c.NumServers()) {
+		for _, server := range d.orderGlobal(c.NumServers()) {
 			if err := ctx.Err(); err != nil {
 				fillErrs(errs, nil, err)
 				return results, errs
@@ -288,7 +290,7 @@ func (d *Driver) PartialLookupBatch(ctx context.Context, c transport.Caller, key
 			seen[i] = make(map[entry.Entry]struct{}, t)
 		}
 		reached := false
-		for _, server := range d.perm(c.NumServers()) {
+		for _, server := range d.orderPending(keys, c.NumServers()) {
 			if len(pending) == 0 {
 				break
 			}
@@ -322,6 +324,18 @@ func (d *Driver) PartialLookupBatch(ctx context.Context, c transport.Caller, key
 	}
 }
 
+// orderPending is the selector-aware probe order for a batched lookup:
+// the seeded permutation, reordered by scoreboard health with positive
+// routing-cache votes pooled across the batch's keys. Without a
+// selector it is exactly perm, preserving seeded behavior.
+func (d *Driver) orderPending(keys []string, n int) []int {
+	p := d.perm(n)
+	if d.sel == nil {
+		return p
+	}
+	return d.sel.OrderMulti(keys, p)
+}
+
 // batchProbe asks one server for up to t entries of each indexed key in
 // a single LookupBatch envelope, returning one reply per index.
 func (d *Driver) batchProbe(ctx context.Context, c transport.Caller, server int, keys []string, idxs []int, t int) ([]wire.LookupReply, error) {
@@ -346,6 +360,11 @@ func (d *Driver) batchProbe(ctx context.Context, c transport.Caller, server int,
 	for _, r := range lbr.Replies {
 		if r.Err != "" {
 			return nil, fmt.Errorf("strategy: server %d: %s", server, r.Err)
+		}
+	}
+	if d.sel != nil {
+		for j, i := range idxs {
+			d.sel.RecordAnswer(keys[i], server, len(lbr.Replies[j].Entries))
 		}
 	}
 	return lbr.Replies, nil

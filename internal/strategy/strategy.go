@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/entry"
 	"repro/internal/node"
+	"repro/internal/selector"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -42,6 +43,10 @@ func (r Result) Satisfied(t int) bool { return len(r.Entries) >= t }
 // guarded so a core.Service can share one driver across goroutines.
 type Driver struct {
 	cfg wire.Config
+	// sel, when non-nil, reorders the seeded visiting permutations by
+	// scoreboard health and the per-key routing cache. Set it before
+	// sharing the driver across goroutines.
+	sel *selector.Selector
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -53,6 +58,33 @@ func (d *Driver) perm(n int) []int {
 	defer d.mu.Unlock()
 	return d.rng.Perm(n)
 }
+
+// orderFor is the selector-aware visiting order for one key's lookup:
+// the usual seeded permutation, reordered so cached answering servers
+// lead and demoted servers trail. With no selector — or a cold one —
+// it is exactly perm, so seeded runs are byte-identical.
+func (d *Driver) orderFor(key string, n int) []int {
+	p := d.perm(n)
+	if d.sel == nil {
+		return p
+	}
+	return d.sel.Order(key, p)
+}
+
+// orderGlobal is the selector-aware order for traffic with no single
+// key (update routing, batch envelope delivery): health-weighted only.
+func (d *Driver) orderGlobal(n int) []int {
+	p := d.perm(n)
+	if d.sel == nil {
+		return p
+	}
+	return d.sel.OrderGlobal(p)
+}
+
+// SetSelector attaches the adaptive selection subsystem. Call it once,
+// right after New, before the driver is shared across goroutines; a nil
+// selector (the default) keeps the pure seeded permutations.
+func (d *Driver) SetSelector(sel *selector.Selector) { d.sel = sel }
 
 // New returns a driver for the given strategy configuration.
 func New(cfg wire.Config, rng *stats.RNG) (*Driver, error) {
@@ -85,17 +117,24 @@ func (d *Driver) Place(ctx context.Context, c transport.Caller, key string, entr
 	if err := d.cfg.Validate(c.NumServers()); err != nil {
 		return err
 	}
+	// A place rewrites the key's whole layout: any cached route is void.
+	d.sel.Invalidate(key)
 	msg := wire.Place{Key: key, Config: d.cfg, Entries: toStrings(entries)}
 	return d.sendUpdate(ctx, c, msg)
 }
 
 // Add executes add(k, v).
 func (d *Driver) Add(ctx context.Context, c transport.Caller, key string, v entry.Entry) error {
+	// The new entry may land on a server the cache marked empty.
+	d.sel.InvalidateNegatives(key)
 	return d.sendUpdate(ctx, c, wire.Add{Key: key, Config: d.cfg, Entry: string(v)})
 }
 
 // Delete executes delete(k, v).
 func (d *Driver) Delete(ctx context.Context, c transport.Caller, key string, v entry.Entry) error {
+	// Deletes shift which servers hold entries; drop stale negatives so
+	// probing re-learns the layout.
+	d.sel.InvalidateNegatives(key)
 	return d.sendUpdate(ctx, c, wire.Delete{Key: key, Config: d.cfg, Entry: string(v)})
 }
 
@@ -140,7 +179,7 @@ func (d *Driver) sendUpdate(ctx context.Context, c transport.Caller, msg wire.Me
 		return fmt.Errorf("%w: all Round-y coordinators down: %v", ErrNoLiveServers, lastErr)
 	}
 	var lastErr error
-	for _, server := range d.perm(c.NumServers()) {
+	for _, server := range d.orderGlobal(c.NumServers()) {
 		err := d.callAck(ctx, c, server, msg)
 		if err == nil {
 			return nil
@@ -214,7 +253,7 @@ func (d *Driver) lookupPartition(ctx context.Context, c transport.Caller, key st
 // is never a reason to probe a second one.
 func (d *Driver) lookupSingle(ctx context.Context, c transport.Caller, key string, t int) (Result, error) {
 	var res Result
-	for _, server := range d.perm(c.NumServers()) {
+	for _, server := range d.orderFor(key, c.NumServers()) {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -240,7 +279,7 @@ func (d *Driver) lookupRandomOrder(ctx context.Context, c transport.Caller, key 
 	var res Result
 	seen := make(map[entry.Entry]struct{}, t)
 	reached := false
-	for _, server := range d.perm(c.NumServers()) {
+	for _, server := range d.orderFor(key, c.NumServers()) {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -296,9 +335,10 @@ func (d *Driver) lookupRoundRobin(ctx context.Context, c transport.Caller, key s
 		return len(res.Entries) >= t, nil
 	}
 
-	// Find a random live starting server.
+	// Find a random live starting server (scoreboard-weighted, cached
+	// servers first, when a selector is attached).
 	start := -1
-	for _, server := range d.perm(n) {
+	for _, server := range d.orderFor(key, n) {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -344,7 +384,7 @@ func (d *Driver) lookupRoundRobin(ctx context.Context, c transport.Caller, key s
 	}
 
 	// Random fallback over whatever remains untried.
-	for _, server := range d.perm(n) {
+	for _, server := range d.orderFor(key, n) {
 		if tried[server] {
 			continue
 		}
@@ -379,6 +419,9 @@ func (d *Driver) probe(ctx context.Context, c transport.Caller, server int, key 
 	for i, s := range lr.Entries {
 		out[i] = entry.Entry(s)
 	}
+	// Feed the routing cache: this server answers this key with this
+	// many entries (zero is a negative verdict).
+	d.sel.RecordAnswer(key, server, len(out))
 	return out, nil
 }
 

@@ -165,6 +165,76 @@ func (m *LookupMetrics) RecordHedgeWon() {
 	m.HedgesWon.Inc()
 }
 
+// SelectorMetrics groups the counters recorded by the failure-aware
+// server selector (internal/selector): routing-cache effectiveness and
+// scoreboard interventions. All record methods are nil-receiver safe.
+type SelectorMetrics struct {
+	// CacheHits counts lookup orders that led with at least one cached
+	// answering server; CacheMisses counts orders built with no cached
+	// route for the key.
+	CacheHits   *Counter
+	CacheMisses *Counter
+	// Demotions counts servers opened (pushed behind all others) after
+	// crossing the consecutive-failure threshold.
+	Demotions *Counter
+	// HalfOpenProbes counts recovery trials granted to open servers.
+	HalfOpenProbes *Counter
+	// Invalidations counts routing-cache entries dropped by updates
+	// (place invalidates the key; add/delete invalidate its negatives).
+	Invalidations *Counter
+}
+
+// NewSelectorMetrics registers selector metrics under "selector.".
+func NewSelectorMetrics(r *Registry) *SelectorMetrics {
+	return &SelectorMetrics{
+		CacheHits:      r.NewCounter("selector.cache_hits"),
+		CacheMisses:    r.NewCounter("selector.cache_misses"),
+		Demotions:      r.NewCounter("selector.demotions"),
+		HalfOpenProbes: r.NewCounter("selector.half_open_probes"),
+		Invalidations:  r.NewCounter("selector.invalidations"),
+	}
+}
+
+// RecordHit counts one order built from a cached route.
+func (m *SelectorMetrics) RecordHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+// RecordMiss counts one order built with no cached route.
+func (m *SelectorMetrics) RecordMiss() {
+	if m == nil {
+		return
+	}
+	m.CacheMisses.Inc()
+}
+
+// RecordDemotion counts one server opened by its failure streak.
+func (m *SelectorMetrics) RecordDemotion() {
+	if m == nil {
+		return
+	}
+	m.Demotions.Inc()
+}
+
+// RecordHalfOpenProbe counts one recovery trial granted.
+func (m *SelectorMetrics) RecordHalfOpenProbe() {
+	if m == nil {
+		return
+	}
+	m.HalfOpenProbes.Inc()
+}
+
+// RecordInvalidation counts one routing-cache invalidation by an update.
+func (m *SelectorMetrics) RecordInvalidation() {
+	if m == nil {
+		return
+	}
+	m.Invalidations.Inc()
+}
+
 // NodeMetrics groups the per-server operation throughput counters
 // recorded by node.Node as it handles protocol messages.
 type NodeMetrics struct {

@@ -22,6 +22,26 @@ type Retry struct {
 
 var _ Caller = (*Retry)(nil)
 
+// Bounds on the doubling delay. A zero or negative base would
+// otherwise never grow (0*2 == 0), turning the backoff loop into a
+// busy spin; a large attempt budget would otherwise double the delay
+// past the int64 range of time.Duration and wrap negative.
+const (
+	minRetryDelay = time.Millisecond
+	maxRetryDelay = 30 * time.Second
+)
+
+// nextRetryDelay doubles d within [minRetryDelay, maxRetryDelay].
+func nextRetryDelay(d time.Duration) time.Duration {
+	if d < minRetryDelay {
+		return minRetryDelay
+	}
+	if d >= maxRetryDelay/2 {
+		return maxRetryDelay
+	}
+	return d * 2
+}
+
 // NewRetry wraps inner so every call gets up to attempts tries with a
 // doubling backoff starting at base. Attempts below 1 mean 1.
 func NewRetry(inner Caller, attempts int, base time.Duration) *Retry {
@@ -39,7 +59,18 @@ func (r *Retry) NumServers() int { return r.inner.NumServers() }
 func (r *Retry) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
 	var lastErr error
 	delay := r.backoff
+	if delay < minRetryDelay {
+		delay = minRetryDelay
+	} else if delay > maxRetryDelay {
+		delay = maxRetryDelay
+	}
 	for a := 1; a <= r.attempts; a++ {
+		// A context that expired during the previous backoff (or arrived
+		// already cancelled) must not burn another attempt against the
+		// server; surface the context error immediately.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		reply, err := r.inner.Call(ctx, server, msg)
 		if err == nil {
 			return reply, nil
@@ -54,7 +85,7 @@ func (r *Retry) Call(ctx context.Context, server int, msg wire.Message) (wire.Me
 		if err := sleepCtx(ctx, delay); err != nil {
 			return nil, err
 		}
-		delay *= 2
+		delay = nextRetryDelay(delay)
 	}
 	return nil, lastErr
 }

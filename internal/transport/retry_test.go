@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// downCaller always reports its server down and counts attempts.
+type downCaller struct {
+	n     int
+	calls int
+}
+
+func (c *downCaller) NumServers() int { return c.n }
+
+func (c *downCaller) Call(ctx context.Context, server int, _ wire.Message) (wire.Message, error) {
+	c.calls++
+	return nil, fmt.Errorf("%w: server %d", ErrServerDown, server)
+}
+
+// A zero (or negative) base backoff used to stay zero forever (0*2 ==
+// 0), making the retry loop hammer the server with no pause at all.
+// The floor guarantees every gap between attempts is at least
+// minRetryDelay.
+func TestRetryZeroBaseDoesNotSpin(t *testing.T) {
+	for _, base := range []time.Duration{0, -time.Second} {
+		inner := &downCaller{n: 1}
+		r := NewRetry(inner, 4, base)
+		start := time.Now()
+		_, err := r.Call(context.Background(), 0, wire.Ping{})
+		elapsed := time.Since(start)
+		if !errors.Is(err, ErrServerDown) {
+			t.Fatalf("base %v: err = %v, want ErrServerDown", base, err)
+		}
+		if inner.calls != 4 {
+			t.Fatalf("base %v: %d attempts, want 4", base, inner.calls)
+		}
+		// Three backoffs at the 1ms floor (doubling: 1+2+4 ms minimum).
+		if elapsed < 7*time.Millisecond {
+			t.Fatalf("base %v: 4 attempts finished in %v; backoff floor not applied", base, elapsed)
+		}
+	}
+}
+
+// Doubling must saturate at maxRetryDelay instead of overflowing
+// time.Duration (which would go negative and turn sleeps into no-ops).
+func TestRetryDelayCapNoOverflow(t *testing.T) {
+	d := minRetryDelay
+	for i := 0; i < 128; i++ {
+		d = nextRetryDelay(d)
+		if d <= 0 {
+			t.Fatalf("iteration %d: delay %v overflowed", i, d)
+		}
+		if d > maxRetryDelay {
+			t.Fatalf("iteration %d: delay %v exceeds cap %v", i, d, maxRetryDelay)
+		}
+	}
+	if d != maxRetryDelay {
+		t.Fatalf("delay saturated at %v, want %v", d, maxRetryDelay)
+	}
+	// An absurd operator-supplied base is clamped on entry too: the
+	// first backoff a caller could wait is never above the cap.
+	if got := nextRetryDelay(500 * time.Hour); got != maxRetryDelay {
+		t.Fatalf("nextRetryDelay(500h) = %v, want %v", got, maxRetryDelay)
+	}
+}
+
+// A context cancelled before a retry attempt must surface immediately
+// without burning another attempt against the server.
+func TestRetryCancelledContextBurnsNoAttempt(t *testing.T) {
+	inner := &downCaller{n: 1}
+	r := NewRetry(inner, 5, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Call(ctx, 0, wire.Ping{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inner.calls != 0 {
+		t.Fatalf("%d attempts dispatched on a dead context, want 0", inner.calls)
+	}
+}
+
+// Cancellation arriving mid-backoff must end the call promptly, not
+// after the remaining attempt budget plays out.
+func TestRetryCancelMidBackoffReturnsPromptly(t *testing.T) {
+	inner := &downCaller{n: 1}
+	r := NewRetry(inner, 10, 100*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := r.Call(ctx, 0, wire.Ping{})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// With a 100ms base and 10 attempts the full budget is >10s; the
+	// cancel at 20ms has to cut the first backoff short.
+	if elapsed > time.Second {
+		t.Fatalf("call returned after %v; cancellation did not interrupt backoff", elapsed)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("%d attempts, want exactly 1 before the cancel", inner.calls)
+	}
+}
