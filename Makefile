@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench select-bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench wal-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -16,7 +16,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Formatting and vet checks, mirroring the CI lint job (CI additionally
+# Formatting, vet, and repo-local doc hygiene (package godoc presence,
+# Markdown link integrity), mirroring the CI lint job (CI additionally
 # runs staticcheck, which it installs itself).
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -24,6 +25,7 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./internal/tools/repolint
 
 # Coverage with the same floor CI enforces (.github/coverage-floor).
 cover:
@@ -41,6 +43,11 @@ bench:
 # Failure-aware selector on/off comparison under chaos (BENCH_select.json).
 select-bench:
 	$(GO) run ./cmd/plsbench -select-bench BENCH_select.json
+
+# Durability overhead: acked-mutation throughput at each WAL sync
+# policy vs. the volatile baseline (BENCH_wal.json).
+wal-bench:
+	$(GO) run ./cmd/plsbench -wal-bench BENCH_wal.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

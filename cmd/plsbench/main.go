@@ -7,13 +7,17 @@
 //	         [-format text|md] [-seed N]
 //	plsbench -node-bench BENCH_node.json [-node-bench-window 2s]
 //	plsbench -select-bench BENCH_select.json [-select-bench-rounds 15]
+//	plsbench -wal-bench BENCH_wal.json [-wal-bench-window 2s]
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
 // coarse-lock baseline, plus LookupBatch amortization, writing the
 // numbers as machine-readable JSON. The third form compares the
 // failure-aware selector on vs. off over an identical seeded chaos
-// workload: servers contacted per lookup and tail latency.
+// workload: servers contacted per lookup and tail latency. The fourth
+// form measures acked-mutation throughput at each durability level
+// (volatile, fsync=never/batch/always): the cost of crash safety and
+// how much of it group commit recovers.
 //
 // At -fidelity full the runner approaches the paper's stated fidelity
 // (5000 runs per data point) and can take many minutes; default keeps
@@ -54,6 +58,8 @@ func run() error {
 		nodeWin  = flag.Duration("node-bench-window", 2*time.Second, "measurement window per node-bench configuration")
 		selOut   = flag.String("select-bench", "", "run the selector on/off comparison under chaos instead of experiments and write BENCH_select.json-style output to this file")
 		selRnds  = flag.Int("select-bench-rounds", 15, "passes over the working set per select-bench arm")
+		walOut   = flag.String("wal-bench", "", "run the durability overhead micro-benchmark instead of experiments and write BENCH_wal.json-style output to this file")
+		walWin   = flag.Duration("wal-bench-window", 2*time.Second, "measurement window per wal-bench durability level")
 	)
 	flag.Parse()
 
@@ -62,6 +68,9 @@ func run() error {
 	}
 	if *selOut != "" {
 		return runSelectBench(*selOut, *selRnds)
+	}
+	if *walOut != "" {
+		return runWALBench(*walOut, *walWin)
 	}
 
 	var fid bench.Fidelity

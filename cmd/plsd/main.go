@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/selector"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -47,6 +49,13 @@ func run() error {
 		timeout = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
 		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
 		selObs  = flag.Bool("peer-selector", true, "score peer health (EWMA latency, failure streaks) and expose it via the admin endpoint")
+
+		// Durability. With -data-dir unset the node is volatile, exactly
+		// as before this layer existed.
+		dataDir      = flag.String("data-dir", "", "directory for the WAL and snapshots (empty = volatile, state dies with the process)")
+		fsyncPolicy  = flag.String("fsync", "batch", "WAL sync policy: always (fsync per mutation), batch (group commit), never (OS flush only)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "interval between compacting snapshots (0 = only at startup and shutdown)")
+		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "max time to let in-flight requests finish at shutdown")
 
 		// Chaos injection on outgoing peer traffic, for fault-tolerance
 		// drills against a live cluster (same middleware the simulator
@@ -86,6 +95,27 @@ func run() error {
 	reg.NewGaugeFunc("node.entries", func() int64 { return int64(nd.EntryCount()) })
 	reg.NewGaugeFunc("node.keys", func() int64 { return int64(nd.KeyCount()) })
 	telemetry.RegisterRuntimeMetrics(reg)
+
+	// Durability: recover on-disk state before any traffic, then log
+	// every acknowledged mutation. Must precede Listen — a request served
+	// against half-recovered state would be answered from the past.
+	var dur *node.Durability
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return fmt.Errorf("create -data-dir: %w", err)
+		}
+		dur, err = nd.OpenDurability(*dataDir, policy, *snapInterval, telemetry.NewWALMetrics(reg))
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		rs := dur.Stats()
+		fmt.Printf("plsd: recovered %s: snapshot gen %d (%d keys), replayed %d wal records (%d skipped, %d torn bytes truncated)\n",
+			*dataDir, rs.SnapshotGen, rs.SnapshotKeys, rs.Replayed, rs.Skipped, rs.WAL.TruncatedBytes)
+	}
 
 	peerClient := transport.NewClient(addrs,
 		transport.WithTimeout(*timeout),
@@ -162,6 +192,20 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful shutdown: stop accepting and drain in-flight requests
+	// first — every ack we have sent must reach the log before the final
+	// snapshot — then flush and close the durable state.
 	fmt.Println("plsd: shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "plsd: drain:", err)
+	}
+	if dur != nil {
+		if err := dur.Close(); err != nil {
+			return fmt.Errorf("flush durable state: %w", err)
+		}
+		fmt.Println("plsd: durable state flushed")
+	}
 	return nil
 }

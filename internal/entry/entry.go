@@ -181,6 +181,47 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Export returns the set's internal state for durability snapshots:
+// members in internal slice order, their parallel insertion sequences,
+// and the next sequence counter. The slices are copies. Internal order
+// matters beyond set semantics — uniform sampling indexes it and
+// Oldest compares the sequences — so crash recovery must restore both
+// exactly for lookups to be byte-identical (see internal/store).
+func (s *Set) Export() (members []Entry, seqs []uint64, nextSeq uint64) {
+	members = make([]Entry, len(s.members))
+	copy(members, s.members)
+	seqs = make([]uint64, len(s.seqs))
+	copy(seqs, s.seqs)
+	return members, seqs, s.nextSeq
+}
+
+// RestoreSet rebuilds a set from Export output, reproducing internal
+// order and insertion sequences bit-for-bit. It rejects inconsistent
+// input (length mismatch, duplicate or invalid members, a sequence at
+// or past nextSeq) rather than constructing a corrupt set.
+func RestoreSet(members []Entry, seqs []uint64, nextSeq uint64) (*Set, error) {
+	if len(members) != len(seqs) {
+		return nil, fmt.Errorf("entry: restore with %d members but %d seqs", len(members), len(seqs))
+	}
+	s := NewSet(len(members))
+	for i, v := range members {
+		if !v.Valid() {
+			return nil, fmt.Errorf("entry: restore with invalid entry at %d", i)
+		}
+		if _, dup := s.index[v]; dup {
+			return nil, fmt.Errorf("entry: restore with duplicate entry %q", v)
+		}
+		if seqs[i] >= nextSeq {
+			return nil, fmt.Errorf("entry: restore seq %d >= nextSeq %d", seqs[i], nextSeq)
+		}
+		s.index[v] = i
+		s.members = append(s.members, v)
+		s.seqs = append(s.seqs, seqs[i])
+	}
+	s.nextSeq = nextSeq
+	return s, nil
+}
+
 // Clear removes all members but keeps allocated capacity.
 func (s *Set) Clear() {
 	s.members = s.members[:0]

@@ -43,18 +43,16 @@ func (fixedExec) del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.
 
 func (fixedExec) storeBatch(_ *Node, st *store.State, entries []string) {
 	// The sender already truncated the batch to x.
-	for _, v := range entries {
-		st.Set.Add(entry.Entry(v))
-	}
+	logAddMany(st, entries)
 }
 
 func (fixedExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
 	if st.Set.Len() < st.Cfg.X {
-		st.Set.Add(entry.Entry(m.Entry))
+		logAdd(st, entry.Entry(m.Entry))
 	}
 }
 
 func (fixedExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
-	st.Set.Remove(entry.Entry(m.Entry))
+	logRemove(st, entry.Entry(m.Entry))
 	return nil
 }

@@ -27,16 +27,14 @@ func (fullExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Co
 }
 
 func (fullExec) storeBatch(_ *Node, st *store.State, entries []string) {
-	for _, v := range entries {
-		st.Set.Add(entry.Entry(v))
-	}
+	logAddMany(st, entries)
 }
 
 func (fullExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
-	st.Set.Add(entry.Entry(m.Entry))
+	logAdd(st, entry.Entry(m.Entry))
 }
 
 func (fullExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
-	st.Set.Remove(entry.Entry(m.Entry))
+	logRemove(st, entry.Entry(m.Entry))
 	return nil
 }

@@ -53,17 +53,15 @@ func (hashExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Co
 func (hashExec) storeBatch(_ *Node, st *store.State, entries []string) {
 	// The place broadcast carries an empty batch purely to install the
 	// config; entries arrive via hash-targeted StoreOne messages.
-	for _, v := range entries {
-		st.Set.Add(entry.Entry(v))
-	}
+	logAddMany(st, entries)
 }
 
 func (hashExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
-	st.Set.Add(entry.Entry(m.Entry))
+	logAdd(st, entry.Entry(m.Entry))
 }
 
 func (hashExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
-	st.Set.Remove(entry.Entry(m.Entry))
+	logRemove(st, entry.Entry(m.Entry))
 	return nil
 }
 

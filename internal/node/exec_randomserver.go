@@ -45,18 +45,23 @@ func (rsExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Conf
 }
 
 func (rsExec) storeBatch(n *Node, st *store.State, entries []string) {
-	// Keep an independent uniform random x-subset (Sec. 3.3).
-	rsExtOf(st).hCount = len(entries)
+	// Keep an independent uniform random x-subset (Sec. 3.3). The WAL
+	// record carries the chosen subset, not the offered batch: the
+	// sampling decision happened here, once, and replay must not ask
+	// the RNG again.
+	ext := rsExtOf(st)
+	ext.hCount = len(entries)
+	logHCount(st, ext.hCount)
 	x := st.Cfg.X
 	if x >= len(entries) {
-		for _, v := range entries {
-			st.Set.Add(entry.Entry(v))
-		}
+		logAddMany(st, entries)
 		return
 	}
+	chosen := make([]string, 0, x)
 	for _, i := range n.rng.SampleInts(len(entries), x) {
-		st.Set.Add(entry.Entry(entries[i]))
+		chosen = append(chosen, entries[i])
 	}
+	logAddMany(st, chosen)
 }
 
 func (rsExec) storeOne(n *Node, st *store.State, m wire.StoreOne) {
@@ -65,16 +70,17 @@ func (rsExec) storeOne(n *Node, st *store.State, m wire.StoreOne) {
 	// of [Vitter 85] cited in Sec. 5.3.
 	ext := rsExtOf(st)
 	ext.hCount++
+	logHCount(st, ext.hCount)
 	v := entry.Entry(m.Entry)
 	switch {
 	case st.Set.Contains(v):
 		// Duplicate add; nothing to do.
 	case st.Set.Len() < st.Cfg.X:
-		st.Set.Add(v)
+		logAdd(st, v)
 	case n.rng.Bool(float64(st.Cfg.X) / float64(ext.hCount)):
 		evict := st.Set.At(n.rng.IntN(st.Set.Len()))
-		st.Set.Remove(evict)
-		st.Set.Add(v)
+		logRemove(st, evict)
+		logAdd(st, v)
 	}
 }
 
@@ -87,8 +93,9 @@ func (rsExec) removeOne(ctx context.Context, n *Node, st *store.State, m wire.Re
 	if ext.hCount > 0 {
 		ext.hCount--
 	}
+	logHCount(st, ext.hCount)
 	v := entry.Entry(m.Entry)
-	had := st.Set.Remove(v)
+	had := logRemove(st, v)
 	if !had || !st.Cfg.RSReplace {
 		return nil
 	}
@@ -128,7 +135,7 @@ func (n *Node) findReplacement(ctx context.Context, key string, deleted entry.En
 					continue
 				}
 				if st.Set.Len() < st.Cfg.X {
-					st.Set.Add(v)
+					logAdd(st, v)
 				}
 				done = true
 				return

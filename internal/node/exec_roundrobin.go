@@ -89,9 +89,10 @@ func (roundExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message 
 		ext := roundExtOf(st)
 		ext.head = 0
 		ext.tail = len(m.Entries)
+		logCounters(st, ext.head, ext.tail)
 	})
 	n.mirrorCounters(ctx, m.Key, cfg, 0, len(m.Entries))
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 func (roundExec) add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
@@ -105,6 +106,7 @@ func (roundExec) add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.
 		pos = ext.tail
 		ext.tail++
 		head = ext.head
+		logCounters(st, ext.head, ext.tail)
 	})
 	n.mirrorCounters(ctx, m.Key, cfg, head, pos+1)
 	for j := 0; j < cfg.Y; j++ {
@@ -113,7 +115,7 @@ func (roundExec) add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.
 			return wire.Ack{Err: err.Error()}
 		}
 	}
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 func (roundExec) del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
@@ -127,6 +129,7 @@ func (roundExec) del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.
 		headPos = ext.head
 		ext.head++
 		tail = ext.tail
+		logCounters(st, ext.head, ext.tail)
 	})
 	headServer := headPos % numServers
 	n.mirrorCounters(ctx, m.Key, cfg, headPos+1, tail)
@@ -145,25 +148,21 @@ func (roundExec) del(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.
 			return wire.Ack{Err: err.Error()}
 		}
 	}
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 func (roundExec) storeBatch(_ *Node, st *store.State, entries []string) {
 	// The place broadcast carries an empty batch purely to install the
 	// config; entries arrive via positioned StoreOne messages.
-	for _, v := range entries {
-		st.Set.Add(entry.Entry(v))
-	}
+	logAddMany(st, entries)
 }
 
 func (roundExec) storeOne(_ *Node, st *store.State, m wire.StoreOne) {
-	v := entry.Entry(m.Entry)
-	st.Set.Add(v)
-	roundExtOf(st).positions[v] = m.Pos
+	logAddAt(st, entry.Entry(m.Entry), m.Pos)
 }
 
 func (roundExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.RemoveOne) func() {
-	st.Set.Remove(entry.Entry(m.Entry))
+	logRemove(st, entry.Entry(m.Entry))
 	return nil
 }
 
@@ -207,8 +206,7 @@ func (n *Node) handleRoundRemove(ctx context.Context, m wire.RoundRemove) wire.M
 			ext.migrations[v] = &migration{replacement: u, found: found, headPos: m.HeadPos}
 		}
 		holePos, hadPos = ext.positions[v]
-		had = st.Set.Remove(v)
-		delete(ext.positions, v)
+		had = logRemove(st, v)
 	})
 
 	if !had {
@@ -234,13 +232,14 @@ func (n *Node) handleRoundRemove(ctx context.Context, m wire.RoundRemove) wire.M
 	if mr.Found && mr.Replacement != m.Entry {
 		u := entry.Entry(mr.Replacement)
 		ks.Update(func(st *store.State) {
-			st.Set.Add(u)
 			if hadPos {
-				roundExtOf(st).positions[u] = holePos
+				logAddAt(st, u, holePos)
+			} else {
+				logAdd(st, u)
 			}
 		})
 	}
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 // handleMigrate executes the head server's migrate(v) procedure of
@@ -307,11 +306,10 @@ func (n *Node) handleRemoveAt(m wire.RemoveAt) wire.Message {
 	ks.Update(func(st *store.State) {
 		ext := roundExtOf(st)
 		if p, ok := ext.positions[v]; ok && p == m.Pos {
-			st.Set.Remove(v)
-			delete(ext.positions, v)
+			logRemove(st, v)
 		}
 	})
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 // handleCounterSync adopts mirrored Round-y coordinator counters
@@ -321,14 +319,20 @@ func (n *Node) handleCounterSync(m wire.CounterSync) wire.Message {
 	ks := n.store.GetOrCreate(m.Key, wire.Config{})
 	ks.Update(func(st *store.State) {
 		ext := roundExtOf(st)
+		changed := false
 		if m.Head > ext.head {
 			ext.head = m.Head
+			changed = true
 		}
 		if m.Tail > ext.tail {
 			ext.tail = m.Tail
+			changed = true
+		}
+		if changed {
+			logCounters(st, ext.head, ext.tail)
 		}
 	})
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 // coordinators returns how many servers mirror the Round-y counters.

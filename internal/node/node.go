@@ -182,7 +182,8 @@ func (n *Node) handleAdd(ctx context.Context, m wire.Add) wire.Message {
 	}
 	ks := n.store.GetOrCreate(m.Key, m.Config)
 	cfg := ks.Config()
-	return execFor(cfg.Scheme).add(ctx, n, ks, cfg, m)
+	reply := execFor(cfg.Scheme).add(ctx, n, ks, cfg, m)
+	return n.flushReply(ks, reply)
 }
 
 // handleDelete implements the initial server S's role in delete(v).
@@ -192,7 +193,8 @@ func (n *Node) handleDelete(ctx context.Context, m wire.Delete) wire.Message {
 	}
 	ks := n.store.GetOrCreate(m.Key, m.Config)
 	cfg := ks.Config()
-	return execFor(cfg.Scheme).del(ctx, n, ks, cfg, m)
+	reply := execFor(cfg.Scheme).del(ctx, n, ks, cfg, m)
+	return n.flushReply(ks, reply)
 }
 
 // handleLookup answers one partial-lookup probe: up to T entries sampled
@@ -219,12 +221,18 @@ func (n *Node) handleLookup(m wire.Lookup) wire.Message {
 func (n *Node) handleStoreBatch(m wire.StoreBatch) wire.Message {
 	ks := n.store.GetOrCreate(m.Key, m.Config)
 	ks.Update(func(st *store.State) {
+		// The reset record precedes the executor's own records in the
+		// log, so replay clears the key before re-applying the batch's
+		// adds — the same order the live path runs in.
+		if st.Logging() {
+			st.Log(wire.WalReset{Key: m.Key, Config: m.Config})
+		}
 		st.Cfg = m.Config
 		st.Set.Clear()
 		st.Ext = nil
 		execFor(st.Cfg.Scheme).storeBatch(n, st, m.Entries)
 	})
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 // handleStoreOne applies a single-entry store under the key's
@@ -237,7 +245,7 @@ func (n *Node) handleStoreOne(m wire.StoreOne) wire.Message {
 	ks.Update(func(st *store.State) {
 		execFor(st.Cfg.Scheme).storeOne(n, st, m)
 	})
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 // handleRemoveOne deletes a local copy under the key's scheme-specific
@@ -252,7 +260,7 @@ func (n *Node) handleRemoveOne(ctx context.Context, m wire.RemoveOne) wire.Messa
 	if after != nil {
 		after()
 	}
-	return wire.Ack{}
+	return n.flushAck(ks)
 }
 
 // handleDump returns the full local set for a key.
@@ -357,6 +365,28 @@ func (n *Node) broadcast(ctx context.Context, msg wire.Message) error {
 		}
 	}
 	return nil
+}
+
+// flushAck blocks until the key's logged mutations are durable (per
+// the WAL's sync policy), then acknowledges. A write or fsync failure
+// surfaces as an error ack — a node with a failing disk must not
+// report writes as durable. On a volatile node this is Ack{} directly.
+func (n *Node) flushAck(ks *store.KeyState) wire.Message {
+	if err := ks.WaitDurable(); err != nil {
+		return wire.Ack{Err: "node: wal: " + err.Error()}
+	}
+	return wire.Ack{}
+}
+
+// flushReply upgrades a successful reply with local durability: even a
+// coordinator that only forwarded the operation may have logged records
+// for its own key state (config adoption on first sight), and the ack
+// must cover those too. Error replies pass through untouched.
+func (n *Node) flushReply(ks *store.KeyState, reply wire.Message) wire.Message {
+	if ack, ok := reply.(wire.Ack); ok && ack.Err == "" {
+		return n.flushAck(ks)
+	}
+	return reply
 }
 
 // ackCall wraps a single peer call for handlers that reply with an Ack.

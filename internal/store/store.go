@@ -23,7 +23,7 @@
 package store
 
 import (
-	"hash/maphash"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -41,6 +41,9 @@ const numShards = 64
 // callbacks. Callbacks must not retain the *State or any interior
 // pointer past their return; the key lock is held only for the call.
 type State struct {
+	// Key is the key this state belongs to, fixed at creation. WAL
+	// records carry it so replay can route them back.
+	Key string
 	// Cfg is the strategy configuration installed by the first
 	// config-carrying message for the key.
 	Cfg wire.Config
@@ -50,7 +53,31 @@ type State struct {
 	// Ext holds strategy-owned extension state (e.g. the Round-Robin
 	// coordinator counters); the store never inspects it.
 	Ext any
+
+	// recs accumulates WAL records logged during the current Update
+	// callback; Update appends them to the log when the callback
+	// returns. Empty when logging is off.
+	recs []wire.Message
+	// logging mirrors "this store has a WAL attached" so Log is a
+	// no-op (not an allocation) on volatile stores.
+	logging bool
 }
+
+// Log queues a WAL record describing a mutation the current Update
+// callback performed. Records must describe outcomes (the entry chosen,
+// the position assigned), never inputs whose effect depends on RNG
+// state, so that replay reproduces state without consulting the RNG.
+// Outside a durable store Log is a no-op.
+func (st *State) Log(rec wire.Message) {
+	if !st.logging {
+		return
+	}
+	st.recs = append(st.recs, rec)
+}
+
+// Logging reports whether mutations on this key are being logged.
+// Executors use it to skip building records on volatile stores.
+func (st *State) Logging() bool { return st.logging }
 
 // KeyState is one key's slot in the store: the live state under a
 // per-key mutex, plus the copy-on-write snapshot for lock-free reads.
@@ -61,14 +88,35 @@ type KeyState struct {
 	// mutation has invalidated it. Readers treat a loaded snapshot as
 	// immutable; writers only ever clear it.
 	snap atomic.Pointer[entry.Set]
+
+	// Durability plumbing, nil/zero on volatile stores. stripe is the
+	// shard index, which doubles as the WAL stripe so per-key record
+	// order matches append order. lastLSN (under mu) is the global WAL
+	// sequence of the key's most recent logged record; snapshots save
+	// it and replay skips records at or below it.
+	wal     *WAL
+	stripe  int
+	lastLSN uint64
 }
 
 // Update runs f with the key locked and invalidates the read snapshot
 // afterwards. All mutations — entry-set changes, config adoption,
-// extension-state updates — go through here.
+// extension-state updates — go through here. Records the callback
+// queued via State.Log are appended to the WAL before the key unlocks,
+// so the log's per-stripe order matches application order exactly.
 func (k *KeyState) Update(f func(*State)) {
 	k.mu.Lock()
 	f(&k.st)
+	if len(k.st.recs) > 0 {
+		if k.wal != nil {
+			// Append errors poison the WAL; WaitDurable surfaces them
+			// before any ack, so a failing disk never acks writes.
+			if seq, err := k.wal.Append(k.stripe, k.st.recs...); err == nil {
+				k.lastLSN = seq
+			}
+		}
+		k.st.recs = k.st.recs[:0]
+	}
 	k.snap.Store(nil)
 	k.mu.Unlock()
 }
@@ -80,6 +128,49 @@ func (k *KeyState) View(f func(*State)) {
 	k.mu.Lock()
 	f(&k.st)
 	k.mu.Unlock()
+}
+
+// SnapshotView runs f with the key locked, passing the state together
+// with the WAL sequence of its last logged mutation. The snapshotter
+// needs the pair observed atomically: a view newer than its recorded
+// sequence would make replay re-apply mutations the snapshot already
+// holds.
+func (k *KeyState) SnapshotView(f func(st *State, lsn uint64)) {
+	k.mu.Lock()
+	f(&k.st, k.lastLSN)
+	k.mu.Unlock()
+}
+
+// LSN returns the WAL sequence of the key's last logged mutation.
+func (k *KeyState) LSN() uint64 {
+	k.mu.Lock()
+	lsn := k.lastLSN
+	k.mu.Unlock()
+	return lsn
+}
+
+// SetLSN records the WAL sequence of a replayed mutation during
+// recovery, so post-recovery snapshots carry the right cutoff.
+func (k *KeyState) SetLSN(lsn uint64) {
+	k.mu.Lock()
+	if lsn > k.lastLSN {
+		k.lastLSN = lsn
+	}
+	k.mu.Unlock()
+}
+
+// WaitDurable blocks until the key's last logged mutation is durable
+// per the WAL's sync policy. Handlers call it between applying a
+// mutation and acknowledging it; on a volatile store it returns nil
+// immediately.
+func (k *KeyState) WaitDurable() error {
+	if k.wal == nil {
+		return nil
+	}
+	k.mu.Lock()
+	lsn := k.lastLSN
+	k.mu.Unlock()
+	return k.wal.WaitDurable(k.stripe, lsn)
 }
 
 // Snapshot returns an immutable view of the key's entry set, building
@@ -126,7 +217,9 @@ type shard struct {
 // call New.
 type Store struct {
 	shards [numShards]shard
-	seed   maphash.Seed
+	// wal, when set via AttachWAL, makes every key durable: mutations
+	// logged through State.Log are appended to the key's stripe.
+	wal *WAL
 	// keyCount tracks the total number of keys across shards, so the
 	// node.keys gauge needs no shard sweep.
 	keyCount atomic.Int64
@@ -134,15 +227,32 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{seed: maphash.MakeSeed()}
+	s := &Store{}
 	for i := range s.shards {
 		s.shards[i].keys = make(map[string]*KeyState)
 	}
 	return s
 }
 
+// shardIndex hashes key to its shard (and WAL stripe). The hash is
+// FNV-1a, chosen over a seeded maphash deliberately: the key→stripe
+// mapping must be identical across process restarts so replay routes
+// records back to the right stripe's keys.
+func shardIndex(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h & (numShards - 1))
+}
+
 func (s *Store) shardFor(key string) *shard {
-	return &s.shards[maphash.String(s.seed, key)&(numShards-1)]
+	return &s.shards[shardIndex(key)]
 }
 
 // Get returns the state for key, or (nil, false) if the key is unknown.
@@ -161,7 +271,8 @@ func (s *Store) Get(key string) (*KeyState, bool) {
 // not created here; executors initialize Ext lazily inside their Update
 // callbacks.
 func (s *Store) GetOrCreate(key string, cfg wire.Config) *KeyState {
-	sh := s.shardFor(key)
+	idx := shardIndex(key)
+	sh := &s.shards[idx]
 	sh.mu.RLock()
 	ks, ok := sh.keys[key]
 	sh.mu.RUnlock()
@@ -169,12 +280,24 @@ func (s *Store) GetOrCreate(key string, cfg wire.Config) *KeyState {
 		sh.mu.Lock()
 		ks, ok = sh.keys[key]
 		if !ok {
-			ks = &KeyState{st: State{Cfg: cfg, Set: entry.NewSet(0)}}
+			ks = &KeyState{
+				st:     State{Key: key, Cfg: cfg, Set: entry.NewSet(0), logging: s.wal != nil},
+				wal:    s.wal,
+				stripe: idx,
+			}
 			sh.keys[key] = ks
 			s.keyCount.Add(1)
 		}
 		sh.mu.Unlock()
 		if !ok {
+			// A brand-new key's config would otherwise exist only in
+			// memory; log it so replay can rebuild keys whose later
+			// records (WalStore etc.) don't carry a config.
+			if ks.wal != nil && cfg.Scheme.Valid() {
+				ks.Update(func(st *State) {
+					st.Log(wire.WalConfig{Key: key, Config: cfg})
+				})
+			}
 			return ks
 		}
 	}
@@ -184,11 +307,57 @@ func (s *Store) GetOrCreate(key string, cfg wire.Config) *KeyState {
 		ks.Update(func(st *State) {
 			if !st.Cfg.Scheme.Valid() {
 				st.Cfg = cfg
+				st.Log(wire.WalConfig{Key: key, Config: cfg})
 			}
 		})
 	}
 	return ks
 }
+
+// AttachWAL makes the store durable: every subsequent mutation logged
+// via State.Log is appended to w. It must be called before the store
+// serves traffic (existing keys — e.g. ones installed from a snapshot
+// — are rewired without locking out concurrent use).
+func (s *Store) AttachWAL(w *WAL) {
+	s.wal = w
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, ks := range sh.keys {
+			ks.mu.Lock()
+			ks.wal = w
+			ks.stripe = i
+			ks.st.logging = true
+			ks.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Install creates a key with fully-formed state during recovery
+// (snapshot load), recording lsn as its replay cutoff. It fails if the
+// key already exists — duplicate keys in a snapshot indicate
+// corruption the caller must surface, not merge.
+func (s *Store) Install(key string, st State, lsn uint64) (*KeyState, error) {
+	idx := shardIndex(key)
+	sh := &s.shards[idx]
+	st.Key = key
+	st.logging = s.wal != nil
+	ks := &KeyState{st: st, wal: s.wal, stripe: idx, lastLSN: lsn}
+	sh.mu.Lock()
+	if _, dup := sh.keys[key]; dup {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("store: install of existing key %q", key)
+	}
+	sh.keys[key] = ks
+	s.keyCount.Add(1)
+	sh.mu.Unlock()
+	return ks, nil
+}
+
+// Stripes returns the store's stripe count — the WAL must be opened
+// with the same number.
+func Stripes() int { return numShards }
 
 // Keys returns the number of keys the store holds state for.
 func (s *Store) Keys() int { return int(s.keyCount.Load()) }

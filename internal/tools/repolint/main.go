@@ -1,0 +1,157 @@
+// Command repolint enforces repo-local documentation hygiene that the
+// standard Go toolchain does not check, without any external
+// dependency:
+//
+//   - every Go package (including main packages) carries a package doc
+//     comment, so `go doc` is never empty and godoc renders usefully;
+//   - every relative link in the repo's Markdown files resolves to a
+//     file that exists, so docs don't rot as files move.
+//
+// Usage: go run ./internal/tools/repolint [root]
+//
+// It exits non-zero listing every violation; CI and `make lint` run it.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkPackageDocs(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("repolint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("repolint: ok")
+}
+
+// skipDir reports directories no check should descend into.
+func skipDir(name string) bool {
+	switch name {
+	case ".git", "testdata", "vendor", "node_modules":
+		return true
+	}
+	return false
+}
+
+// checkPackageDocs walks every directory containing non-test Go files
+// and requires at least one of them to carry a package doc comment.
+func checkPackageDocs(root string) []string {
+	byDir := make(map[string]bool) // dir -> has package doc
+	seen := make(map[string]bool)  // dir -> has non-test go files
+	fset := token.NewFileSet()
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		// Doc comments only; skipping function bodies keeps this fast.
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return nil // the compiler reports real syntax errors
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			byDir[dir] = true
+		}
+		return nil
+	})
+	var problems []string
+	for dir := range seen {
+		if !byDir[dir] {
+			problems = append(problems, fmt.Sprintf("%s: package has no doc comment in any file", dir))
+		}
+	}
+	return problems
+}
+
+// mdLink matches inline Markdown links and images: [text](target).
+// Reference-style links and autolinks are rare in this repo and not
+// checked.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks verifies every relative link target in every
+// tracked Markdown file points at an existing file or directory.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(path), ".md") {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if bad, reason := badLink(filepath.Dir(path), target); bad {
+					problems = append(problems, fmt.Sprintf("%s:%d: link %q: %s", path, i+1, target, reason))
+				}
+			}
+		}
+		return nil
+	})
+	return problems
+}
+
+// badLink resolves one link target relative to the Markdown file's
+// directory. External and in-page links are trusted (this runner is
+// offline); everything else must exist on disk.
+func badLink(fromDir, target string) (bool, string) {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return false, ""
+	case strings.HasPrefix(target, "#"):
+		return false, "" // in-page anchor
+	}
+	// Strip any anchor or query suffix from a file target.
+	if i := strings.IndexAny(target, "#?"); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return false, ""
+	}
+	if _, err := os.Stat(filepath.Join(fromDir, target)); err != nil {
+		return true, "target does not exist"
+	}
+	return false, ""
+}

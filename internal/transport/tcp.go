@@ -145,6 +145,55 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// Shutdown stops the server gracefully: the listener closes (no new
+// connections), requests already in flight run to completion and their
+// replies are written, and idle connections are kicked out of their
+// blocking reads. It returns once every serving goroutine has exited,
+// or forces the remaining connections closed when ctx expires first.
+//
+// A client whose request raced the shutdown sees its connection close
+// without a reply — indistinguishable from a server crash, which the
+// retry/failover layers already handle. What Shutdown guarantees is
+// the converse: any reply the server has started processing is
+// delivered before the process moves on to flushing durable state.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		// Expire reads only: a goroutine blocked waiting for the next
+		// request fails out immediately, while one mid-handle still
+		// writes its reply (writes carry no deadline here).
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return lnErr
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		return ctx.Err()
+	}
+}
+
 // Close stops accepting, closes all connections, and waits for the
 // serving goroutines to finish.
 func (s *Server) Close() error {

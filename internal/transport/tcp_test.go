@@ -238,3 +238,100 @@ func TestClientContextDeadline(t *testing.T) {
 		t.Fatalf("context deadline not honored: call took %v", elapsed)
 	}
 }
+
+// slowEcho delays each reply so a shutdown can race an in-flight
+// request deterministically.
+type slowEcho struct {
+	delay   time.Duration
+	started chan struct{}
+}
+
+func (h slowEcho) Handle(_ context.Context, msg wire.Message) wire.Message {
+	m, ok := msg.(wire.Lookup)
+	if !ok {
+		return wire.Ack{} // priming Pings reply instantly, no signal
+	}
+	if h.started != nil {
+		h.started <- struct{}{}
+	}
+	time.Sleep(h.delay)
+	return wire.LookupReply{Entries: []string{m.Key}}
+}
+
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	srv := NewServer(slowEcho{delay: 150 * time.Millisecond, started: started})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	client := NewClient([]string{addr})
+	defer client.Close()
+
+	// An idle connection, parked in its blocking read.
+	if _, err := client.Call(context.Background(), 0, wire.Ping{}); err != nil {
+		t.Fatalf("priming call: %v", err)
+	}
+
+	type result struct {
+		reply wire.Message
+		err   error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		reply, err := client.Call(context.Background(), 0, wire.Lookup{Key: "drain-me", T: 1})
+		inFlight <- result{reply, err}
+	}()
+	<-started // the handler is now running
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight request must complete with its real reply, not a
+	// reset connection.
+	res := <-inFlight
+	if res.err != nil {
+		t.Fatalf("in-flight call during shutdown: %v", res.err)
+	}
+	lr, ok := res.reply.(wire.LookupReply)
+	if !ok || len(lr.Entries) != 1 || lr.Entries[0] != "drain-me" {
+		t.Fatalf("in-flight reply = %#v", res.reply)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// New connections are refused once shutdown completes.
+	if _, err := client.Call(context.Background(), 0, wire.Ping{}); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("call after shutdown = %v, want ErrServerDown", err)
+	}
+}
+
+func TestServerShutdownForcesHungConns(t *testing.T) {
+	started := make(chan struct{}, 1)
+	srv := NewServer(slowEcho{delay: 2 * time.Second, started: started})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	client := NewClient([]string{addr}, WithTimeout(10*time.Second))
+	defer client.Close()
+	go func() {
+		_, _ = client.Call(context.Background(), 0, wire.Lookup{Key: "hung", T: 1})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with hung handler = %v, want DeadlineExceeded", err)
+	}
+}

@@ -123,6 +123,45 @@ func Encode(msg Message) []byte {
 			e.str(r.Err)
 		}
 		e.str(m.Err)
+	case WalReset:
+		e.str(m.Key)
+		e.config(m.Config)
+	case WalConfig:
+		e.str(m.Key)
+		e.config(m.Config)
+	case WalStore:
+		e.str(m.Key)
+		e.str(m.Entry)
+		e.uvarint(uint64(m.Pos))
+		e.bool(m.HasPos)
+	case WalStoreMany:
+		e.str(m.Key)
+		e.strs(m.Entries)
+	case WalRemove:
+		e.str(m.Key)
+		e.str(m.Entry)
+	case WalCounters:
+		e.str(m.Key)
+		e.uvarint(uint64(m.Head))
+		e.uvarint(uint64(m.Tail))
+	case WalHCount:
+		e.str(m.Key)
+		e.uvarint(uint64(m.HCount))
+	case SnapKey:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.uvarint(m.LSN)
+		e.strs(m.Entries)
+		e.uints(m.Seqs)
+		e.uvarint(m.NextSeq)
+		e.byte(m.ExtKind)
+		e.uvarint(uint64(m.Head))
+		e.uvarint(uint64(m.Tail))
+		e.strs(m.PosEntries)
+		e.uints(m.Positions)
+		e.uvarint(uint64(m.HCount))
+	case SnapFooter:
+		e.uvarint(m.Keys)
 	default:
 		panic(fmt.Sprintf("wire: Encode called with unregistered message type %T", msg))
 	}
@@ -365,6 +404,105 @@ func Decode(data []byte) (Message, error) {
 			m.Err, err = d.str()
 		}
 		msg = m
+	case KindWalReset:
+		var m WalReset
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		msg = m
+	case KindWalConfig:
+		var m WalConfig
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		msg = m
+	case KindWalStore:
+		var m WalStore
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		if err == nil {
+			m.Pos, err = d.intval()
+		}
+		if err == nil {
+			m.HasPos, err = d.boolval()
+		}
+		msg = m
+	case KindWalStoreMany:
+		var m WalStoreMany
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		msg = m
+	case KindWalRemove:
+		var m WalRemove
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entry, err = d.str()
+		}
+		msg = m
+	case KindWalCounters:
+		var m WalCounters
+		m.Key, err = d.str()
+		if err == nil {
+			m.Head, err = d.intval()
+		}
+		if err == nil {
+			m.Tail, err = d.intval()
+		}
+		msg = m
+	case KindWalHCount:
+		var m WalHCount
+		m.Key, err = d.str()
+		if err == nil {
+			m.HCount, err = d.intval()
+		}
+		msg = m
+	case KindSnapKey:
+		var m SnapKey
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.LSN, err = d.uvarint()
+		}
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		if err == nil {
+			m.Seqs, err = d.uints()
+		}
+		if err == nil {
+			m.NextSeq, err = d.uvarint()
+		}
+		if err == nil {
+			m.ExtKind, err = d.byteval()
+		}
+		if err == nil {
+			m.Head, err = d.intval()
+		}
+		if err == nil {
+			m.Tail, err = d.intval()
+		}
+		if err == nil {
+			m.PosEntries, err = d.strs()
+		}
+		if err == nil {
+			m.Positions, err = d.uints()
+		}
+		if err == nil {
+			m.HCount, err = d.intval()
+		}
+		msg = m
+	case KindSnapFooter:
+		var m SnapFooter
+		m.Keys, err = d.uvarint()
+		msg = m
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknown, kind)
 	}
@@ -404,6 +542,13 @@ func (e *encoder) strs(ss []string) {
 	e.uvarint(uint64(len(ss)))
 	for _, s := range ss {
 		e.str(s)
+	}
+}
+
+func (e *encoder) uints(vs []uint64) {
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.uvarint(v)
 	}
 }
 
@@ -490,6 +635,28 @@ func (d *decoder) batchLen() (int, error) {
 		return 0, ErrOversized
 	}
 	return int(n), nil
+}
+
+func (d *decoder) uints() ([]uint64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, ErrOversized
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func (d *decoder) strs() ([]string, error) {

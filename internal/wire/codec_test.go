@@ -43,6 +43,24 @@ func allMessages() []Message {
 		BatchAck{Errs: []string{"", "boom"}},
 		BatchAck{Err: "envelope rejected"},
 		LookupBatchReply{Replies: []LookupReply{{Entries: []string{"x"}}, {Err: "thin"}}},
+		WalReset{Key: "k", Config: cfg},
+		WalConfig{Key: "k", Config: cfg},
+		WalStore{Key: "k", Entry: "v1", Pos: 7, HasPos: true},
+		WalStore{Key: "k", Entry: "v1"},
+		WalStoreMany{Key: "k", Entries: []string{"v1", "v2"}},
+		WalStoreMany{Key: "k"},
+		WalRemove{Key: "k", Entry: "v2"},
+		WalCounters{Key: "k", Head: 3, Tail: 9},
+		WalHCount{Key: "k", HCount: 42},
+		SnapKey{
+			Key: "k", Config: cfg, LSN: 99,
+			Entries: []string{"v1", "v2"}, Seqs: []uint64{4, 7}, NextSeq: 8,
+			ExtKind: SnapExtRound, Head: 1, Tail: 5,
+			PosEntries: []string{"v1", "v2"}, Positions: []uint64{1, 4},
+		},
+		SnapKey{Key: "k", Config: cfg, ExtKind: SnapExtRS, HCount: 17},
+		SnapKey{Key: "k"},
+		SnapFooter{Keys: 12},
 	}
 }
 

@@ -178,6 +178,15 @@ const (
 	KindLookupBatch
 	KindBatchAck
 	KindLookupBatchReply
+	KindWalReset
+	KindWalConfig
+	KindWalStore
+	KindWalStoreMany
+	KindWalRemove
+	KindWalCounters
+	KindWalHCount
+	KindSnapKey
+	KindSnapFooter
 )
 
 // Message is implemented by every protocol message.
@@ -362,6 +371,111 @@ type LookupBatchReply struct {
 	Err     string
 }
 
+// WAL record messages. These never cross the network: they are the
+// durability records a node appends to its write-ahead log (see
+// internal/store and DESIGN.md §9). They reuse the wire codec so the
+// WAL format shares the codec's bounds checks and fuzz coverage.
+//
+// Records describe the *outcome* of a mutation, not its input: a
+// RandomServer-x reservoir decision is logged as the store/remove pair
+// it produced, so replay never consults the RNG and recovery is
+// placement-identical.
+
+// WalReset records a key reset by a place broadcast: install Config,
+// clear the entry set, drop strategy extension state. The entries the
+// receiver selected follow as WalStoreMany/WalStore records.
+type WalReset struct {
+	Key    string
+	Config Config
+}
+
+// WalConfig records a key's creation or lazy config adoption without
+// touching entries.
+type WalConfig struct {
+	Key    string
+	Config Config
+}
+
+// WalStore records one entry stored locally. HasPos marks Round-y
+// placements, where Pos is the entry's round-robin sequence position.
+type WalStore struct {
+	Key    string
+	Entry  string
+	Pos    int
+	HasPos bool
+}
+
+// WalStoreMany records a run of position-less local stores in
+// application order (the selection a place broadcast left behind).
+type WalStoreMany struct {
+	Key     string
+	Entries []string
+}
+
+// WalRemove records one entry removed locally (and its round-robin
+// position forgotten, if it had one).
+type WalRemove struct {
+	Key   string
+	Entry string
+}
+
+// WalCounters records the absolute Round-y coordinator counters after a
+// mutation. Absolute values make replay order-insensitive to the
+// adopt-if-advance rule of CounterSync.
+type WalCounters struct {
+	Key  string
+	Head int
+	Tail int
+}
+
+// WalHCount records the absolute RandomServer-x system-size counter
+// after a mutation (the reservoir denominator of Sec. 5.3).
+type WalHCount struct {
+	Key    string
+	HCount int
+}
+
+// SnapKey is one key's complete durable state in a snapshot file:
+// config, the entry set with its insertion sequences (order matters —
+// lookup sampling indexes the internal member order), and the
+// scheme-private extension state. LSN is the WAL sequence number of the
+// last record applied to the key when the snapshot observed it; replay
+// skips records at or below it.
+type SnapKey struct {
+	Key    string
+	Config Config
+	LSN    uint64
+	// Entries in internal set order with their parallel insertion
+	// sequences; NextSeq is the set's next sequence counter.
+	Entries []string
+	Seqs    []uint64
+	NextSeq uint64
+	// ExtKind discriminates the extension state: 0 none, 1 Round-y
+	// (Head/Tail/PosEntries/Positions), 2 RandomServer-x (HCount).
+	ExtKind uint8
+	Head    int
+	Tail    int
+	// PosEntries/Positions are the Round-y position map as parallel
+	// slices.
+	PosEntries []string
+	Positions  []uint64
+	HCount     int
+}
+
+// Extension-state discriminants for SnapKey.ExtKind.
+const (
+	SnapExtNone  uint8 = 0
+	SnapExtRound uint8 = 1
+	SnapExtRS    uint8 = 2
+)
+
+// SnapFooter terminates a snapshot file and carries the number of
+// SnapKey frames written; a snapshot without a matching footer is
+// truncated and invalid.
+type SnapFooter struct {
+	Keys uint64
+}
+
 // Kind implementations.
 
 func (Place) Kind() Kind            { return KindPlace }
@@ -386,3 +500,12 @@ func (AddBatch) Kind() Kind         { return KindAddBatch }
 func (LookupBatch) Kind() Kind      { return KindLookupBatch }
 func (BatchAck) Kind() Kind         { return KindBatchAck }
 func (LookupBatchReply) Kind() Kind { return KindLookupBatchReply }
+func (WalReset) Kind() Kind         { return KindWalReset }
+func (WalConfig) Kind() Kind        { return KindWalConfig }
+func (WalStore) Kind() Kind         { return KindWalStore }
+func (WalStoreMany) Kind() Kind     { return KindWalStoreMany }
+func (WalRemove) Kind() Kind        { return KindWalRemove }
+func (WalCounters) Kind() Kind      { return KindWalCounters }
+func (WalHCount) Kind() Kind        { return KindWalHCount }
+func (SnapKey) Kind() Kind          { return KindSnapKey }
+func (SnapFooter) Kind() Kind       { return KindSnapFooter }
