@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench select-bench wal-bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -48,6 +48,11 @@ select-bench:
 # policy vs. the volatile baseline (BENCH_wal.json).
 wal-bench:
 	$(GO) run ./cmd/plsbench -wal-bench BENCH_wal.json
+
+# Anti-entropy churn benchmark: achieved-t retention under seeded
+# kill/replace churn, repair on vs. off (BENCH_repair.json).
+repair-bench:
+	$(GO) run ./cmd/plsbench -repair-bench BENCH_repair.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

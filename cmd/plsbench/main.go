@@ -8,6 +8,7 @@
 //	plsbench -node-bench BENCH_node.json [-node-bench-window 2s]
 //	plsbench -select-bench BENCH_select.json [-select-bench-rounds 15]
 //	plsbench -wal-bench BENCH_wal.json [-wal-bench-window 2s]
+//	plsbench -repair-bench BENCH_repair.json [-repair-bench-rounds 8]
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
@@ -17,7 +18,9 @@
 // workload: servers contacted per lookup and tail latency. The fourth
 // form measures acked-mutation throughput at each durability level
 // (volatile, fsync=never/batch/always): the cost of crash safety and
-// how much of it group commit recovers.
+// how much of it group commit recovers. The fifth form runs the
+// kill/replace churn loop with anti-entropy repair on vs. off and
+// reports the achieved-t retention curve per scheme.
 //
 // At -fidelity full the runner approaches the paper's stated fidelity
 // (5000 runs per data point) and can take many minutes; default keeps
@@ -60,6 +63,8 @@ func run() error {
 		selRnds  = flag.Int("select-bench-rounds", 15, "passes over the working set per select-bench arm")
 		walOut   = flag.String("wal-bench", "", "run the durability overhead micro-benchmark instead of experiments and write BENCH_wal.json-style output to this file")
 		walWin   = flag.Duration("wal-bench-window", 2*time.Second, "measurement window per wal-bench durability level")
+		repOut   = flag.String("repair-bench", "", "run the anti-entropy churn benchmark instead of experiments and write BENCH_repair.json-style output to this file")
+		repRnds  = flag.Int("repair-bench-rounds", 8, "kill/replace rounds per repair-bench arm")
 	)
 	flag.Parse()
 
@@ -71,6 +76,9 @@ func run() error {
 	}
 	if *walOut != "" {
 		return runWALBench(*walOut, *walWin)
+	}
+	if *repOut != "" {
+		return runRepairBench(*repOut, *repRnds)
 	}
 
 	var fid bench.Fidelity

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Repair benchmark (-repair-bench): the churn arm of the availability
+// story. A seeded kill/replace loop permanently destroys one server's
+// entries per round; the identical workload runs twice — anti-entropy
+// sweeps on, then off — and the JSON report (BENCH_repair.json) tracks
+// the achieved answer size of t-lookups round by round. With repair on,
+// achieved-t must hold near the target; with repair off it decays as
+// entries lose their last copies, which is exactly the failure mode the
+// daemon exists to stop.
+
+const (
+	repairBenchServers = 10
+	repairBenchKeys    = 12
+	repairBenchEntries = 40
+	repairBenchT       = 35
+	repairBenchSeed    = 21
+)
+
+// repairBenchConfigs are the schemes the churn arms cycle through: the
+// two repair paths with different planning shapes (fill-to-x donors vs
+// deterministic Hash-y homes).
+func repairBenchConfigs() []core.Config {
+	return []core.Config{
+		{Scheme: core.RandomServer, X: 16},
+		{Scheme: core.Hash, Y: 3, Seed: 1},
+	}
+}
+
+type repairArmStats struct {
+	// Lookups / Satisfied count t-lookups and those that reached t.
+	Lookups   int `json:"lookups"`
+	Satisfied int `json:"satisfied"`
+	// RoundRatios is mean(achieved)/t per churn round, in order — the
+	// decay curve (flat near 1.0 with repair on).
+	RoundRatios []float64 `json:"round_ratios"`
+	// AchievedRatio is mean(achieved)/t over all rounds.
+	AchievedRatio float64 `json:"achieved_ratio"`
+	// Sweep outcome counters (zero in the off arm).
+	Sweeps       int `json:"sweeps"`
+	EntriesMoved int `json:"entries_moved"`
+}
+
+type repairSchemeReport struct {
+	Config string         `json:"config"`
+	On     repairArmStats `json:"repair_on"`
+	Off    repairArmStats `json:"repair_off"`
+	// Retention is on.AchievedRatio / off.AchievedRatio (>1 means
+	// repair preserved answers churn otherwise destroyed).
+	Retention float64 `json:"retention"`
+}
+
+type repairBenchReport struct {
+	Servers       int                  `json:"servers"`
+	Keys          int                  `json:"keys"`
+	EntriesPerKey int                  `json:"entries_per_key"`
+	LookupT       int                  `json:"lookup_t"`
+	Rounds        int                  `json:"rounds"`
+	Seed          uint64               `json:"seed"`
+	Schemes       []repairSchemeReport `json:"schemes"`
+}
+
+func repairBenchKey(k int) string { return fmt.Sprintf("rk-%d", k) }
+
+// runRepairArm drives one seeded churn loop: per round, one server dies
+// permanently and is replaced blank, sweeps run if repairOn, then every
+// key gets a t-lookup.
+func runRepairArm(cfg core.Config, rounds int, repairOn bool) (repairArmStats, error) {
+	ctx := context.Background()
+	rng := stats.NewRNG(repairBenchSeed)
+	cl := cluster.New(repairBenchServers, rng.Split())
+	svc, err := core.NewService(cl.Caller(),
+		core.WithSeed(rng.Uint64()),
+		core.WithDefaultConfig(cfg))
+	if err != nil {
+		return repairArmStats{}, err
+	}
+	entries := make([]core.Entry, repairBenchEntries)
+	for i := range entries {
+		entries[i] = core.Entry(fmt.Sprintf("e%02d", i))
+	}
+	for k := 0; k < repairBenchKeys; k++ {
+		if err := svc.Place(ctx, repairBenchKey(k), entries); err != nil {
+			return repairArmStats{}, fmt.Errorf("place %s: %v", repairBenchKey(k), err)
+		}
+	}
+
+	var repairers []*node.Repairer
+	var rm *telemetry.RepairMetrics
+	if repairOn {
+		rm = telemetry.NewRepairMetrics(telemetry.NewRegistry())
+		for i := 0; i < repairBenchServers; i++ {
+			repairers = append(repairers, node.NewRepairer(cl.Node(i),
+				node.RepairOptions{Health: cl.Health(), Metrics: rm}))
+		}
+	}
+
+	st := repairArmStats{}
+	for r := 0; r < rounds; r++ {
+		victim := r % repairBenchServers
+		cl.Fail(victim)
+		cl.Replace(victim, stats.NewRNG(uint64(5000+r)))
+		if repairOn {
+			for _, rp := range repairers {
+				s := rp.SweepOnce(ctx)
+				st.Sweeps++
+				st.EntriesMoved += s.Moved
+			}
+		}
+		achieved := 0
+		for k := 0; k < repairBenchKeys; k++ {
+			res, err := svc.PartialLookup(ctx, repairBenchKey(k), repairBenchT)
+			if err != nil && !errors.Is(err, core.ErrPartialResult) {
+				return repairArmStats{}, fmt.Errorf("lookup %s round %d: %v", repairBenchKey(k), r, err)
+			}
+			st.Lookups++
+			if err == nil && res.Satisfied(repairBenchT) {
+				st.Satisfied++
+			}
+			got := len(res.Entries)
+			if got > repairBenchT {
+				got = repairBenchT
+			}
+			achieved += got
+		}
+		st.RoundRatios = append(st.RoundRatios,
+			float64(achieved)/float64(repairBenchKeys*repairBenchT))
+	}
+	var sum float64
+	for _, v := range st.RoundRatios {
+		sum += v
+	}
+	st.AchievedRatio = sum / float64(len(st.RoundRatios))
+	return st, nil
+}
+
+// runRepairBench executes both arms for every scheme and writes the
+// JSON report to path.
+func runRepairBench(path string, rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	report := repairBenchReport{
+		Servers:       repairBenchServers,
+		Keys:          repairBenchKeys,
+		EntriesPerKey: repairBenchEntries,
+		LookupT:       repairBenchT,
+		Rounds:        rounds,
+		Seed:          repairBenchSeed,
+	}
+	for _, cfg := range repairBenchConfigs() {
+		sr := repairSchemeReport{Config: cfg.String()}
+		var err error
+		if sr.On, err = runRepairArm(cfg, rounds, true); err != nil {
+			return fmt.Errorf("repair-bench %s on arm: %w", cfg, err)
+		}
+		if sr.Off, err = runRepairArm(cfg, rounds, false); err != nil {
+			return fmt.Errorf("repair-bench %s off arm: %w", cfg, err)
+		}
+		if sr.Off.AchievedRatio > 0 {
+			sr.Retention = sr.On.AchievedRatio / sr.Off.AchievedRatio
+		}
+		report.Schemes = append(report.Schemes, sr)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write -repair-bench file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	for _, sr := range report.Schemes {
+		fmt.Printf("repair bench %s: achieved-t %.1f%% of target with repair on vs %.1f%% off (%.2fx retention), %d entries re-replicated over %d rounds\n",
+			sr.Config, 100*sr.On.AchievedRatio, 100*sr.Off.AchievedRatio,
+			sr.Retention, sr.On.EntriesMoved, rounds)
+	}
+	return nil
+}

@@ -50,6 +50,13 @@ func run() error {
 		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
 		selObs  = flag.Bool("peer-selector", true, "score peer health (EWMA latency, failure streaks) and expose it via the admin endpoint")
 
+		// Anti-entropy repair: background sweeps that re-replicate
+		// entries lost to dead peers, restoring each scheme's
+		// replication invariant. Driven by the selector scoreboard
+		// (open circuits = presumed dead), so it requires -peer-selector.
+		repairInterval = flag.Duration("repair-interval", 30*time.Second, "interval between anti-entropy repair sweeps")
+		repairOff      = flag.Bool("repair-off", false, "disable the anti-entropy repair daemon")
+
 		// Durability. With -data-dir unset the node is volatile, exactly
 		// as before this layer existed.
 		dataDir      = flag.String("data-dir", "", "directory for the WAL and snapshots (empty = volatile, state dies with the process)")
@@ -133,12 +140,14 @@ func run() error {
 		}
 		peerCaller = chaos.Origin(*id)
 	}
+	var sel *selector.Selector
 	if *selObs {
 		// Scoreboard on the raw (post-chaos) peer path, below the retry
 		// layer so every attempt is scored. The daemon's forwarding fan-out
 		// is fixed by key placement, so the scoreboard is observe-only
-		// here: it feeds the admin health gauges and selector counters.
-		sel := selector.New(len(addrs), selector.Options{
+		// here: it feeds the admin health gauges, selector counters, and
+		// the repair daemon's presumed-dead classification.
+		sel = selector.New(len(addrs), selector.Options{
 			Metrics: telemetry.NewSelectorMetrics(reg),
 		})
 		peerCaller = selector.Observe(peerCaller, sel)
@@ -163,6 +172,23 @@ func run() error {
 	// counters.
 	peerCaller = transport.Instrument(peerCaller, tm)
 	nd.Attach(peerCaller)
+
+	// Anti-entropy repair: sweeps are epoch-gated on the selector's
+	// failure counter, so a healthy cluster pays nothing for this loop.
+	var repairer *node.Repairer
+	if !*repairOff {
+		if sel == nil {
+			fmt.Println("plsd: repair daemon disabled: -peer-selector=false leaves it without a health source (pass -repair-off to silence this)")
+		} else {
+			repairer = node.NewRepairer(nd, node.RepairOptions{
+				Interval: *repairInterval,
+				Health:   sel,
+				Metrics:  telemetry.NewRepairMetrics(reg),
+			})
+			repairer.Start()
+			fmt.Printf("plsd: anti-entropy repair sweeping every %v\n", *repairInterval)
+		}
+	}
 
 	srv := transport.NewServer(nd)
 	bound, err := srv.Listen(bind)
@@ -200,6 +226,11 @@ func run() error {
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "plsd: drain:", err)
+	}
+	if repairer != nil {
+		// An in-flight sweep's pushes must land in peers' WALs before we
+		// flush our own; Stop waits the sweep out.
+		repairer.Stop()
 	}
 	if dur != nil {
 		if err := dur.Close(); err != nil {

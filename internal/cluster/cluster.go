@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/entry"
@@ -31,6 +32,12 @@ type Cluster struct {
 	// after EnableTelemetry — an instrumented wrapper over it.
 	caller transport.Caller
 	tm     *telemetry.TransportMetrics
+	nm     *telemetry.NodeMetrics
+
+	// epoch counts failure-state transitions (Fail/Recover/Restart/
+	// Replace); Health exposes it so repair sweeps can skip converged
+	// clusters.
+	epoch atomic.Uint64
 }
 
 // New creates a cluster of n servers. Each node receives an independent
@@ -79,9 +86,9 @@ func (c *Cluster) EnableTelemetry(reg *telemetry.Registry) *telemetry.TransportM
 	n := len(c.nodes)
 	c.tm = telemetry.NewTransportMetrics(reg, "transport", n)
 	c.caller = transport.Instrument(c.chaos, c.tm)
-	nm := telemetry.NewNodeMetrics(reg, n)
+	c.nm = telemetry.NewNodeMetrics(reg, n)
 	for _, nd := range c.nodes {
-		nd.Instrument(nm)
+		nd.Instrument(c.nm)
 	}
 	reg.NewGaugeVecFunc("node.entries", n, func(i int) int64 {
 		return int64(c.nodes[i].EntryCount())
@@ -101,12 +108,18 @@ func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
 
 // Fail marks server i as failed: subsequent calls to it return
 // transport.ErrServerDown.
-func (c *Cluster) Fail(i int) { c.tr.SetDown(i, true) }
+func (c *Cluster) Fail(i int) {
+	c.tr.SetDown(i, true)
+	c.epoch.Add(1)
+}
 
 // Recover brings server i back. Its state is whatever it held when it
 // failed; the paper's strategies do not re-synchronize recovered
 // servers.
-func (c *Cluster) Recover(i int) { c.tr.SetDown(i, false) }
+func (c *Cluster) Recover(i int) {
+	c.tr.SetDown(i, false)
+	c.epoch.Add(1)
+}
 
 // Restart brings server i back with a slow-start penalty: its next
 // slowCalls calls each incur extra latency, modeling a server that is
@@ -114,6 +127,7 @@ func (c *Cluster) Recover(i int) { c.tr.SetDown(i, false) }
 func (c *Cluster) Restart(i, slowCalls int, extra time.Duration) {
 	c.chaos.SlowStart(i, slowCalls, extra)
 	c.tr.SetDown(i, false)
+	c.epoch.Add(1)
 }
 
 // RecoverAll brings every server back.
@@ -121,7 +135,50 @@ func (c *Cluster) RecoverAll() {
 	for i := range c.nodes {
 		c.tr.SetDown(i, false)
 	}
+	c.epoch.Add(1)
 }
+
+// Replace tears server i down permanently and installs a fresh, empty
+// node in its place — the kill/replace churn of a real deployment,
+// where a dead machine is swapped for a blank one and everything it
+// stored is lost. The caller supplies the new node's RNG so the
+// cluster's own seed stream (split once per node at New, then once for
+// chaos) is never perturbed and golden seeds stay valid. The new node
+// is bound and marked up; anti-entropy repair is what re-populates it.
+func (c *Cluster) Replace(i int, rng *stats.RNG) *node.Node {
+	nd := node.New(i, rng)
+	nd.Attach(c.chaos.Origin(i))
+	if c.nm != nil {
+		nd.Instrument(c.nm)
+	}
+	c.nodes[i] = nd
+	c.tr.Bind(i, nd)
+	c.tr.SetDown(i, false)
+	c.epoch.Add(1)
+	return nd
+}
+
+// Health is the cluster-driven analogue of the selector scoreboard for
+// the repair daemon: presumed-dead tracks injected failures directly
+// and the epoch advances on every failure-state transition. It
+// satisfies the node.RepairHealth contract.
+type Health struct{ c *Cluster }
+
+// Health returns a repair health view backed by the cluster's failure
+// injection.
+func (c *Cluster) Health() Health { return Health{c} }
+
+// PresumedDead reports, per server, whether it is currently failed.
+func (h Health) PresumedDead() []bool {
+	out := make([]bool, h.c.N())
+	for i := range out {
+		out[i] = h.c.tr.Down(i)
+	}
+	return out
+}
+
+// FailureEpoch returns the failure-transition counter.
+func (h Health) FailureEpoch() uint64 { return h.c.epoch.Load() }
 
 // SetLatency injects a latency distribution (base plus uniform jitter
 // in [0, jitter)) on every call delivered to server i.

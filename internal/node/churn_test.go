@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/entry"
-	"repro/internal/node"
+	"repro/internal/plstest"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -65,51 +65,28 @@ func TestChurnInvariantsAllSchemes(t *testing.T) {
 				}
 			}
 
-			copies := make(map[entry.Entry]int)
-			for s := 0; s < n; s++ {
-				set := h.set(s)
-				// Per-server bound for the subset schemes.
-				if cfg.Scheme == wire.Fixed || cfg.Scheme == wire.RandomServer {
-					if set.Len() > cfg.X {
-						t.Fatalf("server %d holds %d > x=%d", s, set.Len(), cfg.X)
-					}
-				}
-				for _, v := range set.Members() {
-					copies[v]++
-					if !live.Contains(v) {
-						t.Fatalf("server %d resurrects deleted entry %s", s, v)
-					}
-				}
-				// RandomServer counter tracks the live population.
-				if cfg.Scheme == wire.RandomServer {
+			// The invariant checker covers resurrection, x bounds,
+			// Round-y windows/positions, Hash-y ownership, and partition
+			// homing in one place.
+			v := plstest.Observe(h.cl, "k", cfg)
+			plstest.Assert(t, "post-churn structural", v.Check(live))
+			switch cfg.Scheme {
+			case wire.FullReplication, wire.RoundRobin, wire.Hash, wire.KeyPartition:
+				// These schemes promise full replication degree at
+				// quiescence even under delete churn. The subset schemes
+				// do not: RandomServer's cushion legitimately dips below
+				// x after deletes, and Fixed-x drops adds that arrive
+				// while its set is full, so their coverage claims only
+				// hold for the kill/replace soak (TestRepairChurnSoak).
+				plstest.Assert(t, "post-churn coverage", v.CheckCoverage(live))
+			}
+			// RandomServer counter tracks the live population (not part
+			// of the structural checks, and its coverage check is
+			// skipped above).
+			if cfg.Scheme == wire.RandomServer {
+				for s := 0; s < n; s++ {
 					if got := h.cl.Node(s).SystemCount("k"); got != live.Len() {
 						t.Fatalf("server %d hCount=%d, live=%d", s, got, live.Len())
-					}
-				}
-			}
-			// Scheme-specific storage guarantees over the live set.
-			for _, v := range live.Members() {
-				c := copies[v]
-				switch cfg.Scheme {
-				case wire.FullReplication:
-					if c != n {
-						t.Fatalf("full replication: %s on %d servers, want %d", v, c, n)
-					}
-				case wire.RoundRobin:
-					if c != cfg.Y {
-						t.Fatalf("round: %s has %d copies, want %d", v, c, cfg.Y)
-					}
-				case wire.Hash:
-					want := 0
-					for range hashTargets(string(v), cfg, n) {
-						want++
-					}
-					if c != want {
-						t.Fatalf("hash: %s has %d copies, want %d", v, c, want)
-					}
-				case wire.KeyPartition:
-					if c != 1 {
-						t.Fatalf("partition: %s has %d copies, want 1", v, c)
 					}
 				}
 			}
@@ -125,8 +102,4 @@ func initialServer(cfg wire.Config, key string, n int) int {
 	default:
 		return 1 % n
 	}
-}
-
-func hashTargets(v string, cfg wire.Config, n int) []int {
-	return node.HashAssign(v, cfg.Y, n, cfg.Seed)
 }

@@ -33,6 +33,23 @@ type executor interface {
 	// removeOne deletes a local copy; a non-nil return value is invoked
 	// by the caller once the key lock is released.
 	removeOne(ctx context.Context, n *Node, st *store.State, m wire.RemoveOne) func()
+
+	// repairPlan maps this node's local copy of a key onto the
+	// candidate transfers an anti-entropy sweep should offer each peer:
+	// for schemes with deterministic homes (Full, Round-y, Hash-y) the
+	// peers that must hold each entry, for subset schemes (Fixed-x,
+	// RandomServer-x) every peer as a fill-to-x candidate, and nothing
+	// for KeyPartition (a single unreplicated home has no donor).
+	// It runs with no key lock held, on a view copied out of the store,
+	// and must not consume RNG — repair plugs holes with existing
+	// entries at existing positions, it never redraws.
+	repairPlan(self int, v repairView, numServers int) []repairCandidate
+
+	// repairAccept applies a RepairPush under the scheme's local
+	// acceptance rule (cap at x, legal Round/Hash home, partition
+	// ownership). It runs inside Update (key locked), must not call
+	// peers or consume RNG, and returns how many entries it stored.
+	repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int
 }
 
 // execFor returns the executor for a scheme. Keys whose config is still

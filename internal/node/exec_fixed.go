@@ -56,3 +56,30 @@ func (fixedExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.R
 	logRemove(st, entry.Entry(m.Entry))
 	return nil
 }
+
+// repairPlan: all servers share the identical first-x set, so every
+// peer is offered the local set and tops itself up to x. Survivors
+// (which saw every update) already agree, so a freshly replaced server
+// converges to the shared set from whichever peer sweeps first.
+func (fixedExec) repairPlan(self int, v repairView, numServers int) []repairCandidate {
+	return everyPeerCandidate(self, v.entries, numServers, true)
+}
+
+// repairAccept: store missing entries while below x, the same local
+// rule storeOne applies.
+func (fixedExec) repairAccept(_ *Node, st *store.State, m wire.RepairPush, _ int) int {
+	accepted := 0
+	for _, s := range m.Entries {
+		if st.Set.Len() >= st.Cfg.X {
+			break
+		}
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}

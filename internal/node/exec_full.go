@@ -38,3 +38,24 @@ func (fullExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.Re
 	logRemove(st, entry.Entry(m.Entry))
 	return nil
 }
+
+// repairPlan: every server must hold every entry, so every peer is
+// offered the whole local set.
+func (fullExec) repairPlan(self int, v repairView, numServers int) []repairCandidate {
+	return everyPeerCandidate(self, v.entries, numServers, false)
+}
+
+// repairAccept: store everything not already held.
+func (fullExec) repairAccept(_ *Node, st *store.State, m wire.RepairPush, _ int) int {
+	accepted := 0
+	for _, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}

@@ -65,6 +65,44 @@ func (hashExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.Re
 	return nil
 }
 
+// repairPlan: entry v's homes are exactly f1(v)..fy(v), so each local
+// entry is offered to the other servers of its hash assignment.
+func (hashExec) repairPlan(self int, v repairView, numServers int) []repairCandidate {
+	if v.cfg.Y <= 0 {
+		return nil
+	}
+	return perEntryHomeCandidates(self, v.entries, numServers, false,
+		func(s string) ([]int, int, bool) {
+			return HashAssign(s, v.cfg.Y, numServers, v.cfg.Seed), 0, true
+		})
+}
+
+// repairAccept: store an entry only if this server really is one of
+// its hash homes; anything else is dropped.
+func (hashExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int {
+	accepted := 0
+	for _, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		home := false
+		for _, t := range HashAssign(s, st.Cfg.Y, numServers, st.Cfg.Seed) {
+			if t == n.id {
+				home = true
+				break
+			}
+		}
+		if !home {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
 // HashAssign returns the distinct servers f1(v)..fy(v) that Hash-y
 // assigns entry v to, in a cluster of n servers. The paper leaves the
 // hash family abstract; we hash the entry once with FNV-1a and derive

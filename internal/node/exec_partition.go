@@ -41,6 +41,33 @@ func (partExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.Re
 	return nil
 }
 
+// repairPlan: the baseline keeps one unreplicated copy on the key's
+// home server. If the home dies its entries are gone — there is no
+// donor — so repair has nothing to plan. (This is the decay the
+// paper's conclusion argues against; the repair benchmark shows it.)
+func (partExec) repairPlan(int, repairView, int) []repairCandidate {
+	return nil
+}
+
+// repairAccept: only the key's home server may store entries; pushes
+// to anyone else are dropped.
+func (partExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int {
+	if numServers <= 0 || PartitionServer(st.Key, numServers) != n.id {
+		return 0
+	}
+	accepted := 0
+	for _, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
 // PartitionServer returns the single server responsible for a key
 // under the traditional hashing baseline (Fig. 1 center).
 func PartitionServer(key string, n int) int {

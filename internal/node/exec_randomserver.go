@@ -147,6 +147,43 @@ func (n *Node) findReplacement(ctx context.Context, key string, deleted entry.En
 	}
 }
 
+// repairPlan: there are no deterministic homes — each server keeps an
+// independent x-subset — so the repairable invariant is the subset
+// *size*: every peer is offered the local set as refill candidates,
+// capped at x on acceptance. The refilled subset is no longer a
+// uniform draw (repair never consumes RNG; reorder/plug, never
+// redraw), trading a little sampling bias for restored cushion size —
+// the same trade the Sec. 5.3 replacement alternative makes.
+func (rsExec) repairPlan(self int, v repairView, numServers int) []repairCandidate {
+	return everyPeerCandidate(self, v.entries, numServers, true)
+}
+
+// repairAccept: adopt the pushed system count if it advances the local
+// one (a freshly replaced server starts at zero and must relearn the
+// reservoir denominator), then refill plainly while below x — the
+// reservoir is deliberately bypassed so no RNG draw happens.
+func (rsExec) repairAccept(_ *Node, st *store.State, m wire.RepairPush, _ int) int {
+	ext := rsExtOf(st)
+	if m.HCount > ext.hCount {
+		ext.hCount = m.HCount
+		logHCount(st, ext.hCount)
+	}
+	accepted := 0
+	for _, s := range m.Entries {
+		if st.Set.Len() >= st.Cfg.X {
+			break
+		}
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
 // SystemCount returns the node's local estimate of the number of entries
 // in the system for a key (maintained by the RandomServer protocol).
 func (n *Node) SystemCount(key string) int {

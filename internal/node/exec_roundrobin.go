@@ -335,6 +335,67 @@ func (n *Node) handleCounterSync(m wire.CounterSync) wire.Message {
 	return n.flushAck(ks)
 }
 
+// repairPlan: the entry at position p lives on servers
+// (p mod n)..(p+y-1 mod n), so each locally held, positioned entry is
+// offered to the other servers of its window, position attached —
+// repair plugs the hole at the entry's existing position, exactly like
+// the Fig. 11 migration, never redrawing it.
+func (roundExec) repairPlan(self int, v repairView, numServers int) []repairCandidate {
+	y := v.cfg.Y
+	if y <= 0 || y > numServers {
+		return nil
+	}
+	return perEntryHomeCandidates(self, v.entries, numServers, true,
+		func(s string) ([]int, int, bool) {
+			pos, ok := v.positions[s]
+			if !ok || pos < 0 {
+				return nil, 0, false
+			}
+			targets := make([]int, 0, y)
+			for j := 0; j < y; j++ {
+				targets = append(targets, (pos+j)%numServers)
+			}
+			return targets, pos, true
+		})
+}
+
+// repairAccept: store each entry at its pushed position, but only if
+// this server is inside the position's window — a corrupt or stale
+// push must not violate the placement invariant it exists to restore.
+func (roundExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int {
+	if !m.HasPos || len(m.Positions) != len(m.Entries) || numServers <= 0 {
+		return 0
+	}
+	y := st.Cfg.Y
+	if y <= 0 {
+		return 0
+	}
+	accepted := 0
+	for i, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if m.Positions[i] > uint64(1<<31-1) {
+			continue
+		}
+		pos := int(m.Positions[i])
+		inWindow := false
+		for j := 0; j < y && j < numServers; j++ {
+			if (pos+j)%numServers == n.id {
+				inWindow = true
+				break
+			}
+		}
+		if !inWindow {
+			continue
+		}
+		logAddAt(st, v, pos)
+		accepted++
+	}
+	return accepted
+}
+
 // coordinators returns how many servers mirror the Round-y counters.
 func coordinators(cfg wire.Config) int {
 	if cfg.Coordinators > 1 {

@@ -149,6 +149,10 @@ func (n *Node) Handle(ctx context.Context, msg wire.Message) wire.Message {
 		return n.handleMigrate(ctx, m)
 	case wire.Dump:
 		return n.handleDump(m)
+	case wire.RepairQuery:
+		return n.handleRepairQuery(m)
+	case wire.RepairPush:
+		return n.handleRepairPush(m)
 	case wire.Ping:
 		return wire.Ack{}
 	default:
@@ -288,6 +292,25 @@ func (n *Node) LocalSet(key string) *entry.Set {
 	var c *entry.Set
 	ks.View(func(st *store.State) { c = st.Set.Clone() })
 	return c
+}
+
+// Positions returns a copy of the node's Round-Robin position map for
+// a key (empty for other schemes), for invariant checks in tests and
+// the plstest harness.
+func (n *Node) Positions(key string) map[entry.Entry]int {
+	out := make(map[entry.Entry]int)
+	ks, ok := n.store.Get(key)
+	if !ok {
+		return out
+	}
+	ks.View(func(st *store.State) {
+		if ext, ok := st.Ext.(*roundExt); ok {
+			for v, p := range ext.positions {
+				out[v] = p
+			}
+		}
+	})
+	return out
 }
 
 // LocalLen returns the number of entries the node stores for a key,

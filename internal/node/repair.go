@@ -1,0 +1,425 @@
+package node
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/entry"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Anti-entropy repair. Once a server dies permanently, the entries it
+// held are simply gone: the selector routes around the corpse but
+// nothing restores the placement scheme's replication invariant, so
+// achieved-t decays under sustained churn. The Repairer is a per-node
+// background sweeper that walks the store's copy-on-write snapshots,
+// plans which peers must hold which of its local entries (per scheme;
+// see executor.repairPlan), and re-replicates what is missing — the
+// Round-y hole-plugging idea generalized to every strategy.
+//
+// Two disciplines keep repair invisible when it is not needed:
+//
+//   - The RNG is never consulted. Plans transfer existing entries at
+//     their existing positions; receivers apply deterministic
+//     acceptance rules (fill to x, legal home checks). A sweep
+//     therefore leaves every node's seeded RNG stream exactly where
+//     the workload put it, and golden seeds stay valid with repair
+//     enabled.
+//   - Sweeps are epoch-gated on the health source: a sweep runs only
+//     when the failure epoch advanced since the last completed sweep,
+//     so a cluster that has seen no (new) failures pays zero wire
+//     traffic for having repair on.
+//
+// Acceptance runs through the same logAdd/logAddAt helpers as the
+// update protocols, so repaired state is WAL-logged and crash recovery
+// stays byte-identical.
+
+// RepairHealth tells the repair daemon which servers to presume dead
+// and when the failure picture last changed. *selector.Selector
+// satisfies it (open circuits, monotone failure counter), as does
+// cluster.Health for simulations.
+type RepairHealth interface {
+	// PresumedDead reports, per server, whether repair should treat it
+	// as unreachable: neither queried nor pushed to.
+	PresumedDead() []bool
+	// FailureEpoch is a monotone counter that advances whenever a new
+	// failure (or failure-state transition) is observed. Sweeps are
+	// skipped while it matches the epoch of the last completed sweep.
+	FailureEpoch() uint64
+}
+
+// RepairOptions configures a Repairer.
+type RepairOptions struct {
+	// Interval between background sweeps (Start); default 30s.
+	Interval time.Duration
+	// Health classifies peers and gates sweeps. Required.
+	Health RepairHealth
+	// Metrics, when set, records sweep outcomes.
+	Metrics *telemetry.RepairMetrics
+}
+
+// RepairStats summarizes one sweep.
+type RepairStats struct {
+	// Skipped reports that the epoch gate short-circuited the sweep
+	// before any wire traffic.
+	Skipped bool
+	// Keys is the number of keys examined.
+	Keys int
+	// RepairedKeys counts keys for which at least one entry moved.
+	RepairedKeys int
+	// Queries and Pushes count repair messages sent.
+	Queries int
+	Pushes  int
+	// Moved counts entries accepted by receivers.
+	Moved int
+	// UnderReplicated counts (entry, server) pairs the scheme required
+	// but that were missing before this sweep pushed them.
+	UnderReplicated int
+}
+
+// Repairer runs anti-entropy sweeps for one node.
+type Repairer struct {
+	n   *Node
+	opt RepairOptions
+
+	mu         sync.Mutex // serializes sweeps; guards sweptEpoch
+	sweptEpoch uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRepairer returns a repairer for n. It does not start sweeping;
+// call Start for the background loop or SweepOnce directly.
+func NewRepairer(n *Node, opt RepairOptions) *Repairer {
+	if opt.Health == nil {
+		panic("node: NewRepairer requires a RepairHealth source")
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 30 * time.Second
+	}
+	return &Repairer{n: n, opt: opt}
+}
+
+// Start launches the background sweep loop. Stop terminates it.
+func (r *Repairer) Start() {
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.opt.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.SweepOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for an in-flight sweep
+// to finish. It is a no-op if Start was never called.
+func (r *Repairer) Stop() {
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop = nil
+	r.done = nil
+}
+
+// SweepOnce runs one full sweep: every key, in sorted order (the
+// store's shard iteration order is unspecified, and deterministic
+// sweeps are what make the churn soak tests reproducible). It returns
+// what happened; tests and the churn benchmark drive repair through it
+// directly.
+func (r *Repairer) SweepOnce(ctx context.Context) RepairStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var stats RepairStats
+	epoch := r.opt.Health.FailureEpoch()
+	if epoch == r.sweptEpoch {
+		stats.Skipped = true
+		r.opt.Metrics.RecordSweep(true)
+		return stats
+	}
+	dead := r.opt.Health.PresumedDead()
+
+	type item struct {
+		key string
+		ks  *store.KeyState
+	}
+	var items []item
+	r.n.store.Range(func(key string, ks *store.KeyState) bool {
+		items = append(items, item{key, ks})
+		return true
+	})
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+
+	for _, it := range items {
+		stats.Keys++
+		r.sweepKey(ctx, it.key, it.ks, dead, &stats)
+	}
+	// Converged at this epoch: until the health picture changes again,
+	// further sweeps are free.
+	r.sweptEpoch = epoch
+	r.opt.Metrics.RecordSweep(false)
+	r.opt.Metrics.RecordSweepResult(stats.RepairedKeys, stats.Moved, stats.Queries, stats.Pushes, stats.UnderReplicated)
+	return stats
+}
+
+// repairView is a copy of one key's local state, taken under the key
+// lock and then planned against with no lock held.
+type repairView struct {
+	key       string
+	cfg       wire.Config
+	entries   []string       // local set, internal order
+	positions map[string]int // Round-y positions
+	hCount    int            // RandomServer-x system size
+	head      int            // Round-y coordinator counters
+	tail      int
+}
+
+// repairCandidate is one peer's share of a key's repair plan: the
+// entries the scheme says the target should hold (with their Round-y
+// positions when hasPos), and whether acceptance is capped at the
+// receiver's x (subset schemes).
+type repairCandidate struct {
+	target    int
+	entries   []string
+	positions []uint64
+	hasPos    bool
+	fillToX   bool
+}
+
+// viewKey snapshots one key's state for planning.
+func viewKey(key string, ks *store.KeyState) repairView {
+	v := repairView{key: key}
+	ks.View(func(st *store.State) {
+		v.cfg = st.Cfg
+		members := st.Set.Members()
+		v.entries = make([]string, len(members))
+		for i, m := range members {
+			v.entries[i] = string(m)
+		}
+		switch ext := st.Ext.(type) {
+		case *roundExt:
+			v.positions = make(map[string]int, len(ext.positions))
+			for e, p := range ext.positions {
+				v.positions[string(e)] = p
+			}
+			v.head, v.tail = ext.head, ext.tail
+		case *rsExt:
+			v.hCount = ext.hCount
+		}
+	})
+	return v
+}
+
+// everyPeerCandidate offers the whole local set to every other server:
+// the plan shape of the schemes where any server is a legal home
+// (Full unconditionally; Fixed-x and RandomServer-x capped at x via
+// fillToX).
+func everyPeerCandidate(self int, entries []string, numServers int, fillToX bool) []repairCandidate {
+	if len(entries) == 0 || numServers <= 1 {
+		return nil
+	}
+	out := make([]repairCandidate, 0, numServers-1)
+	for t := 0; t < numServers; t++ {
+		if t == self {
+			continue
+		}
+		out = append(out, repairCandidate{target: t, entries: entries, fillToX: fillToX})
+	}
+	return out
+}
+
+// perEntryHomeCandidates groups entries by their deterministic homes
+// (Round-y windows, Hash-y assignments), excluding self; targets come
+// out in ascending id order and entries in local set order, so plans
+// are deterministic.
+func perEntryHomeCandidates(self int, entries []string, numServers int, hasPos bool,
+	homes func(s string) (targets []int, pos int, ok bool)) []repairCandidate {
+	byTarget := make(map[int]*repairCandidate)
+	for _, s := range entries {
+		targets, pos, ok := homes(s)
+		if !ok {
+			continue
+		}
+		for _, t := range targets {
+			if t == self || t < 0 || t >= numServers {
+				continue
+			}
+			c := byTarget[t]
+			if c == nil {
+				c = &repairCandidate{target: t, hasPos: hasPos}
+				byTarget[t] = c
+			}
+			c.entries = append(c.entries, s)
+			if hasPos {
+				c.positions = append(c.positions, uint64(pos))
+			}
+		}
+	}
+	order := make([]int, 0, len(byTarget))
+	for t := range byTarget {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	out := make([]repairCandidate, 0, len(order))
+	for _, t := range order {
+		out = append(out, *byTarget[t])
+	}
+	return out
+}
+
+// sweepKey repairs one key: plan per scheme, query each live target
+// for what it is missing, push only that. For Round-y it additionally
+// re-mirrors the coordinator counters (adopt-if-advance on receipt),
+// so a freshly replaced coordinator relearns head/tail.
+func (r *Repairer) sweepKey(ctx context.Context, key string, ks *store.KeyState, dead []bool, stats *RepairStats) {
+	n := r.n
+	numServers := n.numServers()
+	if numServers <= 1 {
+		return
+	}
+	view := viewKey(key, ks)
+	isDead := func(server int) bool {
+		return server < len(dead) && dead[server]
+	}
+	repaired := false
+	for _, cand := range execFor(view.cfg.Scheme).repairPlan(n.id, view, numServers) {
+		if cand.target < 0 || cand.target >= numServers || isDead(cand.target) {
+			continue
+		}
+		reply, err := n.callReply(ctx, cand.target, wire.RepairQuery{Key: key, Entries: cand.entries})
+		if err != nil {
+			continue // unreachable now; a later sweep retries
+		}
+		qr, ok := reply.(wire.RepairQueryReply)
+		if !ok || qr.Err != "" || len(qr.Missing) != len(cand.entries) {
+			continue
+		}
+		stats.Queries++
+		// Subset schemes only top the receiver up to x; deterministic
+		// homes push every missing entry.
+		budget := -1
+		if cand.fillToX {
+			budget = view.cfg.X - qr.Len
+			if budget <= 0 {
+				continue
+			}
+		}
+		var entries []string
+		var positions []uint64
+		for i, missing := range qr.Missing {
+			if !missing || budget == 0 {
+				continue
+			}
+			entries = append(entries, cand.entries[i])
+			if cand.hasPos {
+				positions = append(positions, cand.positions[i])
+			}
+			if budget > 0 {
+				budget--
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		stats.UnderReplicated += len(entries)
+		push := wire.RepairPush{
+			Key: key, Config: view.cfg, Entries: entries,
+			Positions: positions, HasPos: cand.hasPos, HCount: view.hCount,
+		}
+		preply, err := n.callReply(ctx, cand.target, push)
+		if err != nil {
+			continue
+		}
+		pr, ok := preply.(wire.RepairPushReply)
+		if !ok || pr.Err != "" {
+			continue
+		}
+		stats.Pushes++
+		stats.Moved += pr.Accepted
+		if pr.Accepted > 0 {
+			repaired = true
+		}
+	}
+	if view.cfg.Scheme == wire.RoundRobin && (view.head > 0 || view.tail > 0) {
+		for c := 0; c < coordinators(view.cfg) && c < numServers; c++ {
+			if c == n.id || isDead(c) {
+				continue
+			}
+			// Best-effort, adopt-if-advance on the receiver.
+			_, _ = n.callReply(ctx, c, wire.CounterSync{Key: key, Head: view.head, Tail: view.tail})
+		}
+	}
+	if repaired {
+		stats.RepairedKeys++
+	}
+}
+
+// handleRepairQuery answers phase one of a sweep: which of the listed
+// candidates this server is missing, plus its local set size and
+// RandomServer system count (so the sweeper can cap fill-to-x pushes).
+func (n *Node) handleRepairQuery(m wire.RepairQuery) wire.Message {
+	reply := wire.RepairQueryReply{Missing: make([]bool, len(m.Entries))}
+	ks, ok := n.store.Get(m.Key)
+	if !ok {
+		for i := range reply.Missing {
+			reply.Missing[i] = true
+		}
+		return reply
+	}
+	ks.View(func(st *store.State) {
+		for i, s := range m.Entries {
+			reply.Missing[i] = !st.Set.Contains(entry.Entry(s))
+		}
+		reply.Len = st.Set.Len()
+		if ext, ok := st.Ext.(*rsExt); ok {
+			reply.HCount = ext.hCount
+		}
+	})
+	return reply
+}
+
+// handleRepairPush applies phase two under the key's stored scheme
+// (the receiver's config wins, as everywhere else): each entry passes
+// the scheme's acceptance rule or is dropped. Accepted entries are
+// WAL-logged through the same helpers as the update protocols, and the
+// reply waits for durability like any other mutation ack.
+func (n *Node) handleRepairPush(m wire.RepairPush) wire.Message {
+	if m.HasPos && len(m.Positions) != len(m.Entries) {
+		return wire.RepairPushReply{Err: "node: repair push positions/entries length mismatch"}
+	}
+	numServers := n.numServers()
+	if _, ok := n.store.Get(m.Key); !ok {
+		// A push may only create key state under a config that would
+		// have been accepted at Place time; a corrupt or hostile config
+		// must not poison the store.
+		if err := m.Config.Validate(numServers); err != nil {
+			return wire.RepairPushReply{Err: "node: repair push: " + err.Error()}
+		}
+	}
+	ks := n.store.GetOrCreate(m.Key, m.Config)
+	accepted := 0
+	ks.Update(func(st *store.State) {
+		accepted = execFor(st.Cfg.Scheme).repairAccept(n, st, m, numServers)
+	})
+	if err := ks.WaitDurable(); err != nil {
+		return wire.RepairPushReply{Err: "node: wal: " + err.Error()}
+	}
+	return wire.RepairPushReply{Accepted: accepted}
+}

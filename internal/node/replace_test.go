@@ -4,8 +4,16 @@ import (
 	"testing"
 
 	"repro/internal/entry"
+	"repro/internal/plstest"
 	"repro/internal/wire"
 )
+
+// liveAfterDeletes is the live population once the first `deleted` of
+// the 50 synthetic entries have been removed.
+func liveAfterDeletes(deleted int) *entry.Set {
+	all := entry.Synthetic(50)
+	return liveFrom(all[deleted:])
+}
 
 // TestRandomServerActiveReplacement exercises the Sec. 5.3 alternative
 // delete handling: a server that loses a local copy refills its subset
@@ -26,17 +34,14 @@ func TestRandomServerActiveReplacement(t *testing.T) {
 	// 35 live entries remain; with replacement every server should be
 	// back at (or very near) x — without it, expected size is ~7.
 	for s := 0; s < 5; s++ {
-		set := h.set(s)
-		if set.Len() < 9 {
-			t.Fatalf("server %d has %d entries after deletes; replacement did not refill", s, set.Len())
-		}
-		// No deleted entry may have been reintroduced.
-		for i := 0; i < 15; i++ {
-			if set.Contains(entry.Synthetic(50)[i]) {
-				t.Fatalf("server %d holds deleted entry %s", s, entry.Synthetic(50)[i])
-			}
+		if h.set(s).Len() < 9 {
+			t.Fatalf("server %d has %d entries after deletes; replacement did not refill", s, h.set(s).Len())
 		}
 	}
+	// The structural checker covers the rest: no deleted entry was
+	// reintroduced anywhere, and sizes respect the x bound.
+	v := plstest.Observe(h.cl, "k", cfg)
+	plstest.Assert(t, "post-replacement structural", v.Check(liveAfterDeletes(15)))
 }
 
 // TestRandomServerCushionDoesNotRefill pins the default (cushion)
@@ -59,4 +64,8 @@ func TestRandomServerCushionDoesNotRefill(t *testing.T) {
 	if after >= before {
 		t.Fatalf("cushion variant did not shrink: %d -> %d", before, after)
 	}
+	// Even with the cushion eroded, structure holds: nothing deleted
+	// survives and no server exceeds x.
+	v := plstest.Observe(h.cl, "k", cfg)
+	plstest.Assert(t, "post-delete structural", v.Check(liveAfterDeletes(15)))
 }

@@ -97,6 +97,7 @@ type Selector struct {
 	mu           sync.Mutex
 	servers      []serverState
 	observations int64 // outcomes recorded; 0 and an empty cache = cold
+	failures     uint64
 	cache        *routeCache
 }
 
@@ -162,6 +163,7 @@ func (s *Selector) RecordFailure(server int) {
 		s.opt.Metrics.RecordDemotion()
 	}
 	s.observations++
+	s.failures++
 }
 
 // RecordAnswer feeds the routing cache: server answered a lookup probe
@@ -407,6 +409,33 @@ func (s *Selector) Health() []ServerHealth {
 		}
 	}
 	return out
+}
+
+// PresumedDead classifies each server for the anti-entropy repair
+// daemon: true means the circuit is open (FailThreshold consecutive
+// server-down failures without a successful probe since), so repair
+// planning should neither query nor push to it. The slice is a copy.
+// Together with FailureEpoch this satisfies the node.RepairHealth
+// contract.
+func (s *Selector) PresumedDead() []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]bool, len(s.servers))
+	for i := range s.servers {
+		out[i] = s.servers[i].open
+	}
+	return out
+}
+
+// FailureEpoch returns a monotone counter that advances on every
+// recorded server-attributable failure. The repair daemon skips a
+// sweep entirely — zero wire traffic — while the epoch matches the one
+// it last converged at, so a healthy cluster pays nothing for having
+// repair enabled.
+func (s *Selector) FailureEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
 }
 
 // CachedKeys returns the number of keys currently in the routing cache.

@@ -264,3 +264,44 @@ func TestObserveFeedsScoreboard(t *testing.T) {
 		t.Fatalf("Observe(nil selector) should return inner")
 	}
 }
+
+// The repair daemon's health contract: open circuits classify as
+// presumed dead, and the failure epoch advances monotonically on every
+// recorded failure so converged sweeps can be skipped.
+func TestPresumedDeadAndFailureEpoch(t *testing.T) {
+	s := New(4, Options{FailThreshold: 2})
+	if got := s.FailureEpoch(); got != 0 {
+		t.Fatalf("cold FailureEpoch = %d, want 0", got)
+	}
+	if dead := s.PresumedDead(); len(dead) != 4 {
+		t.Fatalf("PresumedDead len = %d, want 4", len(dead))
+	} else {
+		for i, d := range dead {
+			if d {
+				t.Fatalf("cold server %d presumed dead", i)
+			}
+		}
+	}
+	s.RecordFailure(2)
+	if got := s.FailureEpoch(); got != 1 {
+		t.Fatalf("FailureEpoch after one failure = %d, want 1", got)
+	}
+	if s.PresumedDead()[2] {
+		t.Fatal("server 2 presumed dead below FailThreshold")
+	}
+	s.RecordFailure(2)
+	if !s.PresumedDead()[2] {
+		t.Fatal("server 2 not presumed dead after crossing FailThreshold")
+	}
+	if got := s.FailureEpoch(); got != 2 {
+		t.Fatalf("FailureEpoch = %d, want 2", got)
+	}
+	// Recovery closes the circuit but never rewinds the epoch.
+	s.RecordSuccess(2, time.Millisecond)
+	if s.PresumedDead()[2] {
+		t.Fatal("server 2 still presumed dead after success")
+	}
+	if got := s.FailureEpoch(); got != 2 {
+		t.Fatalf("FailureEpoch rewound to %d after success", got)
+	}
+}

@@ -358,3 +358,62 @@ func RegisterRuntimeMetrics(r *Registry) {
 		return int64(ms.NumGC)
 	})
 }
+
+// RepairMetrics instruments the anti-entropy repair daemon.
+type RepairMetrics struct {
+	// Sweeps counts sweep attempts; SweepsSkipped counts those skipped
+	// because the failure epoch had not advanced (a converged cluster
+	// pays nothing for repair).
+	Sweeps        *Counter
+	SweepsSkipped *Counter
+	// KeysRepaired counts keys for which at least one entry moved;
+	// EntriesMoved counts entries accepted by receivers.
+	KeysRepaired *Counter
+	EntriesMoved *Counter
+	// Queries and Pushes count repair wire messages sent.
+	Queries *Counter
+	Pushes  *Counter
+	// UnderReplicated is the deficit the most recent sweep detected:
+	// (entry, server) pairs the placement scheme requires but that were
+	// missing before repair.
+	UnderReplicated *Gauge
+}
+
+// NewRepairMetrics registers repair-daemon metrics under "repair.".
+func NewRepairMetrics(r *Registry) *RepairMetrics {
+	return &RepairMetrics{
+		Sweeps:          r.NewCounter("repair.sweeps"),
+		SweepsSkipped:   r.NewCounter("repair.sweeps_skipped"),
+		KeysRepaired:    r.NewCounter("repair.keys_repaired"),
+		EntriesMoved:    r.NewCounter("repair.entries_moved"),
+		Queries:         r.NewCounter("repair.queries"),
+		Pushes:          r.NewCounter("repair.pushes"),
+		UnderReplicated: r.NewGauge("repair.under_replicated"),
+	}
+}
+
+// RecordSweep counts one sweep attempt (skipped = the epoch gate
+// short-circuited it before any wire traffic).
+func (m *RepairMetrics) RecordSweep(skipped bool) {
+	if m == nil {
+		return
+	}
+	m.Sweeps.Add(1)
+	if skipped {
+		m.SweepsSkipped.Add(1)
+	}
+}
+
+// RecordSweepResult folds one completed sweep's outcome into the
+// counters and sets the under-replication gauge to the deficit this
+// sweep observed.
+func (m *RepairMetrics) RecordSweepResult(keysRepaired, moved, queries, pushes, underReplicated int) {
+	if m == nil {
+		return
+	}
+	m.KeysRepaired.Add(int64(keysRepaired))
+	m.EntriesMoved.Add(int64(moved))
+	m.Queries.Add(int64(queries))
+	m.Pushes.Add(int64(pushes))
+	m.UnderReplicated.Set(int64(underReplicated))
+}

@@ -162,6 +162,24 @@ func Encode(msg Message) []byte {
 		e.uvarint(uint64(m.HCount))
 	case SnapFooter:
 		e.uvarint(m.Keys)
+	case RepairQuery:
+		e.str(m.Key)
+		e.strs(m.Entries)
+	case RepairQueryReply:
+		e.bools(m.Missing)
+		e.uvarint(uint64(m.Len))
+		e.uvarint(uint64(m.HCount))
+		e.str(m.Err)
+	case RepairPush:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.strs(m.Entries)
+		e.uints(m.Positions)
+		e.bool(m.HasPos)
+		e.uvarint(uint64(m.HCount))
+	case RepairPushReply:
+		e.uvarint(uint64(m.Accepted))
+		e.str(m.Err)
 	default:
 		panic(fmt.Sprintf("wire: Encode called with unregistered message type %T", msg))
 	}
@@ -503,6 +521,52 @@ func Decode(data []byte) (Message, error) {
 		var m SnapFooter
 		m.Keys, err = d.uvarint()
 		msg = m
+	case KindRepairQuery:
+		var m RepairQuery
+		m.Key, err = d.str()
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		msg = m
+	case KindRepairQueryReply:
+		var m RepairQueryReply
+		m.Missing, err = d.bools()
+		if err == nil {
+			m.Len, err = d.intval()
+		}
+		if err == nil {
+			m.HCount, err = d.intval()
+		}
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
+	case KindRepairPush:
+		var m RepairPush
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		if err == nil {
+			m.Positions, err = d.uints()
+		}
+		if err == nil {
+			m.HasPos, err = d.boolval()
+		}
+		if err == nil {
+			m.HCount, err = d.intval()
+		}
+		msg = m
+	case KindRepairPushReply:
+		var m RepairPushReply
+		m.Accepted, err = d.intval()
+		if err == nil {
+			m.Err, err = d.str()
+		}
+		msg = m
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknown, kind)
 	}
@@ -542,6 +606,13 @@ func (e *encoder) strs(ss []string) {
 	e.uvarint(uint64(len(ss)))
 	for _, s := range ss {
 		e.str(s)
+	}
+}
+
+func (e *encoder) bools(vs []bool) {
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.bool(v)
 	}
 }
 
@@ -635,6 +706,28 @@ func (d *decoder) batchLen() (int, error) {
 		return 0, ErrOversized
 	}
 	return int(n), nil
+}
+
+func (d *decoder) bools() ([]bool, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, ErrOversized
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]bool, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		v, err := d.boolval()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func (d *decoder) uints() ([]uint64, error) {

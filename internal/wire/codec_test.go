@@ -61,6 +61,17 @@ func allMessages() []Message {
 		SnapKey{Key: "k", Config: cfg, ExtKind: SnapExtRS, HCount: 17},
 		SnapKey{Key: "k"},
 		SnapFooter{Keys: 12},
+		RepairQuery{Key: "k", Entries: []string{"v1", "v2"}},
+		RepairQuery{Key: "k"},
+		RepairQueryReply{Missing: []bool{true, false}, Len: 3, HCount: 9},
+		RepairQueryReply{Err: "boom"},
+		RepairPush{
+			Key: "k", Config: cfg, Entries: []string{"v1", "v2"},
+			Positions: []uint64{0, 3}, HasPos: true, HCount: 9,
+		},
+		RepairPush{Key: "k", Config: cfg, Entries: []string{"v1"}},
+		RepairPushReply{Accepted: 2},
+		RepairPushReply{Err: "not my partition"},
 	}
 }
 

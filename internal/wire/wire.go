@@ -187,6 +187,10 @@ const (
 	KindWalHCount
 	KindSnapKey
 	KindSnapFooter
+	KindRepairQuery
+	KindRepairQueryReply
+	KindRepairPush
+	KindRepairPushReply
 )
 
 // Message is implemented by every protocol message.
@@ -476,6 +480,52 @@ type SnapFooter struct {
 	Keys uint64
 }
 
+// RepairQuery is phase one of an anti-entropy sweep: the sweeper asks a
+// peer which of the listed candidate entries for a key it is missing.
+// The peer answers with RepairQueryReply so that phase two (RepairPush)
+// transfers only entries that are actually absent, keeping converged
+// sweeps cheap on the wire.
+type RepairQuery struct {
+	Key     string
+	Entries []string
+}
+
+// RepairQueryReply answers a RepairQuery. Missing is parallel to the
+// query's Entries (true = the peer does not hold that entry). Len is
+// the peer's current local set size for the key and HCount its
+// RandomServer-x system-size counter, letting the sweeper cap
+// fill-to-x pushes without a second round trip.
+type RepairQueryReply struct {
+	Missing []bool
+	Len     int
+	HCount  int
+	Err     string
+}
+
+// RepairPush is phase two of an anti-entropy sweep: the sweeper
+// re-replicates entries the peer reported missing. Config rides along
+// so a freshly replaced, empty server adopts the key's scheme. For
+// Round-y, HasPos is set and Positions carries each entry's original
+// position in parallel with Entries — repair plugs holes at existing
+// positions, it never redraws them. HCount propagates the
+// RandomServer-x reservoir denominator (adopt-if-greater on receipt).
+type RepairPush struct {
+	Key       string
+	Config    Config
+	Entries   []string
+	Positions []uint64
+	HasPos    bool
+	HCount    int
+}
+
+// RepairPushReply reports how many pushed entries the peer accepted
+// after applying its scheme's local acceptance rule (cap at x, legal
+// Round/Hash home, partition ownership).
+type RepairPushReply struct {
+	Accepted int
+	Err      string
+}
+
 // Kind implementations.
 
 func (Place) Kind() Kind            { return KindPlace }
@@ -509,3 +559,7 @@ func (WalCounters) Kind() Kind      { return KindWalCounters }
 func (WalHCount) Kind() Kind        { return KindWalHCount }
 func (SnapKey) Kind() Kind          { return KindSnapKey }
 func (SnapFooter) Kind() Kind       { return KindSnapFooter }
+func (RepairQuery) Kind() Kind      { return KindRepairQuery }
+func (RepairQueryReply) Kind() Kind { return KindRepairQueryReply }
+func (RepairPush) Kind() Kind       { return KindRepairPush }
+func (RepairPushReply) Kind() Kind  { return KindRepairPushReply }
