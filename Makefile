@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -53,6 +53,12 @@ wal-bench:
 # kill/replace churn, repair on vs. off (BENCH_repair.json).
 repair-bench:
 	$(GO) run ./cmd/plsbench -repair-bench BENCH_repair.json
+
+# Dynamic membership benchmark: entries moved and availability under
+# join/drain churn per scheme, plus Hash-y vs multi-probe load skew
+# (BENCH_membership.json).
+membership-bench:
+	$(GO) run ./cmd/plsbench -membership-bench BENCH_membership.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

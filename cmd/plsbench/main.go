@@ -9,6 +9,7 @@
 //	plsbench -select-bench BENCH_select.json [-select-bench-rounds 15]
 //	plsbench -wal-bench BENCH_wal.json [-wal-bench-window 2s]
 //	plsbench -repair-bench BENCH_repair.json [-repair-bench-rounds 8]
+//	plsbench -membership-bench BENCH_membership.json [-membership-bench-rounds 6]
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
@@ -20,7 +21,10 @@
 // (volatile, fsync=never/batch/always): the cost of crash safety and
 // how much of it group commit recovers. The fifth form runs the
 // kill/replace churn loop with anti-entropy repair on vs. off and
-// reports the achieved-t retention curve per scheme.
+// reports the achieved-t retention curve per scheme. The sixth form
+// drives join/drain rounds through every placement scheme — entries
+// moved, rebalance wall time, availability during churn — and compares
+// Hash-y against multi-probe consistent hashing on placement load skew.
 //
 // At -fidelity full the runner approaches the paper's stated fidelity
 // (5000 runs per data point) and can take many minutes; default keeps
@@ -65,6 +69,8 @@ func run() error {
 		walWin   = flag.Duration("wal-bench-window", 2*time.Second, "measurement window per wal-bench durability level")
 		repOut   = flag.String("repair-bench", "", "run the anti-entropy churn benchmark instead of experiments and write BENCH_repair.json-style output to this file")
 		repRnds  = flag.Int("repair-bench-rounds", 8, "kill/replace rounds per repair-bench arm")
+		memOut   = flag.String("membership-bench", "", "run the join/drain churn benchmark instead of experiments and write BENCH_membership.json-style output to this file")
+		memRnds  = flag.Int("membership-bench-rounds", 6, "join+drain rounds per membership-bench scheme")
 	)
 	flag.Parse()
 
@@ -79,6 +85,9 @@ func run() error {
 	}
 	if *repOut != "" {
 		return runRepairBench(*repOut, *repRnds)
+	}
+	if *memOut != "" {
+		return runMembershipBench(*memOut, *memRnds)
 	}
 
 	var fid bench.Fidelity

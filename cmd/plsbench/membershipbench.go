@@ -1,0 +1,316 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/stats"
+)
+
+// Membership benchmark (-membership-bench): the churn arm of the
+// dynamic-membership story. For every placement scheme a seeded
+// cluster absorbs join/drain rounds — each round a fresh server joins
+// and an original member drains — and the JSON report
+// (BENCH_membership.json) records how many entries each transition
+// moved, how long the synchronous rebalance took, and the achieved-t
+// ratio of lookups issued immediately after every membership change
+// (the availability-during-churn number: 1.0 means no lookup ever saw
+// a hole). A second arm compares placement load skew across Hash-y,
+// a vanilla single-probe consistent-hash ring, and multi-probe — the
+// balance/movement trade-off that motivates the multi-probe scheme.
+
+const (
+	memBenchServers = 6
+	memBenchKeys    = 10
+	memBenchEntries = 30
+	memBenchT       = 8
+	memBenchSeed    = 77
+
+	// Load-skew arm: per-server home counts over a large key population.
+	skewServers = 12
+	skewKeys    = 4000
+	skewY       = 2
+	skewSeed    = 0x5eed
+)
+
+// memBenchConfigs covers every scheme with a distinct rebalance plan
+// shape: broadcast copies, fill-to-x subsets, deterministic homes, and
+// the single-home partition baseline.
+func memBenchConfigs() []core.Config {
+	return []core.Config{
+		{Scheme: core.FullReplication},
+		{Scheme: core.Fixed, X: 12},
+		{Scheme: core.RandomServer, X: 12},
+		{Scheme: core.RoundRobin, Y: 3, Coordinators: 2},
+		{Scheme: core.Hash, Y: 3, Seed: 2},
+		{Scheme: core.MultiProbe, Y: 3, Seed: 2},
+		{Scheme: core.KeyPartition},
+	}
+}
+
+type memSchemeReport struct {
+	Config string `json:"config"`
+	// Entries accepted by receivers during join vs drain transitions,
+	// summed over all rounds.
+	MovedOnJoin  int `json:"moved_on_join"`
+	MovedOnDrain int `json:"moved_on_drain"`
+	// Mean wall-clock milliseconds for one synchronous Join / Drain
+	// (broadcast + every member's rebalance sweep).
+	JoinMillis  float64 `json:"join_millis"`
+	DrainMillis float64 `json:"drain_millis"`
+	// Lookups issued immediately after each membership change and the
+	// mean achieved/t ratio across them. 1.0 = full availability.
+	ChurnLookups int     `json:"churn_lookups"`
+	Availability float64 `json:"availability"`
+}
+
+type skewArm struct {
+	// PerServer is each server's share of home assignments; skew is
+	// max/mean (1.0 = perfectly balanced).
+	MaxLoad  int     `json:"max_load"`
+	MeanLoad float64 `json:"mean_load"`
+	Skew     float64 `json:"skew"`
+}
+
+type skewReport struct {
+	Servers int     `json:"servers"`
+	Keys    int     `json:"keys"`
+	Y       int     `json:"y"`
+	Hash    skewArm `json:"hash"`
+	// SingleProbeRing is vanilla consistent hashing (one ring point per
+	// server, one probe per key): minimal movement like multi-probe, but
+	// arc lengths vary wildly, which is the skew multi-probe exists to
+	// fix. Hash-y sits at the other extreme — near-perfect balance by
+	// rehashing everything mod n, paid for in entries moved per
+	// transition (see the per-scheme moved counts).
+	SingleProbeRing skewArm `json:"single_probe_ring"`
+	MultiProbe      skewArm `json:"multi_probe"`
+	// Improvement is singleProbeRing.Skew / multiProbe.Skew (>1 means
+	// multi-probe's extra probes bought better balance at the same
+	// movement economy).
+	Improvement float64 `json:"improvement"`
+}
+
+type membershipBenchReport struct {
+	Servers       int               `json:"servers"`
+	Keys          int               `json:"keys"`
+	EntriesPerKey int               `json:"entries_per_key"`
+	LookupT       int               `json:"lookup_t"`
+	Rounds        int               `json:"rounds"`
+	Seed          uint64            `json:"seed"`
+	Schemes       []memSchemeReport `json:"schemes"`
+	LoadSkew      skewReport        `json:"load_skew"`
+}
+
+func memBenchKey(k int) string { return fmt.Sprintf("mk-%d", k) }
+
+// sumRebalanced folds the most recent rebalance sweep of every node at
+// the given epoch; sweeps from earlier transitions are excluded so each
+// Join/Drain is charged only its own moves.
+func sumRebalanced(cl *cluster.Cluster, epoch uint64) int {
+	moved := 0
+	for i := 0; i < cl.N(); i++ {
+		if st, ok := cl.Node(i).LastRebalance(); ok && st.Epoch == epoch {
+			moved += st.Moved
+		}
+	}
+	return moved
+}
+
+// churnProbe looks up every key once and returns (achieved, issued*t).
+func churnProbe(ctx context.Context, svc *core.Service) (int, int, error) {
+	achieved := 0
+	for k := 0; k < memBenchKeys; k++ {
+		res, err := svc.PartialLookup(ctx, memBenchKey(k), memBenchT)
+		if err != nil && !errors.Is(err, core.ErrPartialResult) {
+			return 0, 0, fmt.Errorf("lookup %s: %v", memBenchKey(k), err)
+		}
+		got := len(res.Entries)
+		if got > memBenchT {
+			got = memBenchT
+		}
+		achieved += got
+	}
+	return achieved, memBenchKeys * memBenchT, nil
+}
+
+// runMembershipArm drives one scheme through the churn loop: place the
+// working set at n=6, then each round a new server joins (n=7) and an
+// original member drains (back to n=6), probing availability after
+// both transitions.
+func runMembershipArm(cfg core.Config, rounds int) (memSchemeReport, error) {
+	ctx := context.Background()
+	rng := stats.NewRNG(memBenchSeed)
+	cl := cluster.New(memBenchServers, rng.Split())
+	svc, err := core.NewService(cl.Caller(),
+		core.WithSeed(rng.Uint64()),
+		core.WithDefaultConfig(cfg))
+	if err != nil {
+		return memSchemeReport{}, err
+	}
+	entries := make([]core.Entry, memBenchEntries)
+	for i := range entries {
+		entries[i] = core.Entry(fmt.Sprintf("e%02d", i))
+	}
+	for k := 0; k < memBenchKeys; k++ {
+		if err := svc.Place(ctx, memBenchKey(k), entries); err != nil {
+			return memSchemeReport{}, fmt.Errorf("place %s: %v", memBenchKey(k), err)
+		}
+	}
+
+	sr := memSchemeReport{Config: cfg.String()}
+	var joinTime, drainTime time.Duration
+	achieved, issued := 0, 0
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if _, err := cl.Join(ctx, stats.NewRNG(uint64(9000+r))); err != nil {
+			return memSchemeReport{}, fmt.Errorf("join round %d: %v", r, err)
+		}
+		joinTime += time.Since(start)
+		sr.MovedOnJoin += sumRebalanced(cl, cl.MemberEpoch())
+		a, i, err := churnProbe(ctx, svc)
+		if err != nil {
+			return memSchemeReport{}, fmt.Errorf("after join round %d: %w", r, err)
+		}
+		achieved, issued = achieved+a, issued+i
+
+		// Drain a rotating original member so slot renumbering — not
+		// just trimming the freshly appended joiner — is exercised.
+		victim := 1 + r%(memBenchServers-1)
+		start = time.Now()
+		if _, err := cl.Drain(ctx, victim); err != nil {
+			return memSchemeReport{}, fmt.Errorf("drain round %d: %v", r, err)
+		}
+		drainTime += time.Since(start)
+		sr.MovedOnDrain += sumRebalanced(cl, cl.MemberEpoch())
+		a, i, err = churnProbe(ctx, svc)
+		if err != nil {
+			return memSchemeReport{}, fmt.Errorf("after drain round %d: %w", r, err)
+		}
+		achieved, issued = achieved+a, issued+i
+	}
+	sr.JoinMillis = float64(joinTime.Microseconds()) / float64(rounds) / 1000
+	sr.DrainMillis = float64(drainTime.Microseconds()) / float64(rounds) / 1000
+	sr.ChurnLookups = issued / memBenchT
+	sr.Availability = float64(achieved) / float64(issued)
+	return sr, nil
+}
+
+// singleProbeAssign is the vanilla consistent-hashing baseline: one
+// ring point per server, the key hashed once, replicas on the y
+// distinct clockwise successors. Same movement economy as multi-probe
+// (points are independent of n) but arc lengths — and so loads — vary
+// with the luck of the point draw.
+func singleProbeAssign(v string, y, n int, seed uint64) []int {
+	if n <= 0 || y <= 0 {
+		return nil
+	}
+	if y > n {
+		y = n
+	}
+	mix := func(x uint64) uint64 {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		x *= 0xc4ceb9fe1a85ec53
+		return x ^ x>>33
+	}
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	p := mix(h.Sum64() + seed)
+
+	type point struct {
+		at    uint64
+		owner int
+	}
+	ring := make([]point, n)
+	for i := range ring {
+		ring[i] = point{mix(seed + uint64(i+1)*0xa24baed4963ee407), i}
+	}
+	sort.Slice(ring, func(a, b int) bool { return ring[a].at < ring[b].at })
+	start := sort.Search(n, func(i int) bool { return ring[i].at >= p }) % n
+	out := make([]int, 0, y)
+	for i := 0; i < n && len(out) < y; i++ {
+		out = append(out, ring[(start+i)%n].owner)
+	}
+	return out
+}
+
+// measureSkew counts home assignments per server for a large key
+// population under one assignment function.
+func measureSkew(assign func(v string, y, n int, seed uint64) []int) skewArm {
+	load := make([]int, skewServers)
+	for k := 0; k < skewKeys; k++ {
+		for _, s := range assign(fmt.Sprintf("skew-key-%d", k), skewY, skewServers, skewSeed) {
+			load[s]++
+		}
+	}
+	arm := skewArm{MeanLoad: float64(skewKeys*skewY) / float64(skewServers)}
+	for _, l := range load {
+		if l > arm.MaxLoad {
+			arm.MaxLoad = l
+		}
+	}
+	arm.Skew = float64(arm.MaxLoad) / arm.MeanLoad
+	return arm
+}
+
+// runMembershipBench executes the churn arm for every scheme plus the
+// load-skew comparison and writes the JSON report to path.
+func runMembershipBench(path string, rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	report := membershipBenchReport{
+		Servers:       memBenchServers,
+		Keys:          memBenchKeys,
+		EntriesPerKey: memBenchEntries,
+		LookupT:       memBenchT,
+		Rounds:        rounds,
+		Seed:          memBenchSeed,
+	}
+	for _, cfg := range memBenchConfigs() {
+		sr, err := runMembershipArm(cfg, rounds)
+		if err != nil {
+			return fmt.Errorf("membership-bench %s: %w", cfg, err)
+		}
+		report.Schemes = append(report.Schemes, sr)
+	}
+	report.LoadSkew = skewReport{
+		Servers:         skewServers,
+		Keys:            skewKeys,
+		Y:               skewY,
+		Hash:            measureSkew(node.HashAssign),
+		SingleProbeRing: measureSkew(singleProbeAssign),
+		MultiProbe:      measureSkew(node.MultiProbeAssign),
+	}
+	if report.LoadSkew.MultiProbe.Skew > 0 {
+		report.LoadSkew.Improvement = report.LoadSkew.SingleProbeRing.Skew / report.LoadSkew.MultiProbe.Skew
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write -membership-bench file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	for _, sr := range report.Schemes {
+		fmt.Printf("membership bench %s: %d entries moved on joins, %d on drains, join %.1fms / drain %.1fms, availability %.3f over %d churn lookups\n",
+			sr.Config, sr.MovedOnJoin, sr.MovedOnDrain, sr.JoinMillis, sr.DrainMillis, sr.Availability, sr.ChurnLookups)
+	}
+	ls := report.LoadSkew
+	fmt.Printf("load skew (%d keys, y=%d, %d servers): Hash-y max/mean %.3f, single-probe ring %.3f, multi-probe %.3f (%.2fx better balanced than the vanilla ring)\n",
+		ls.Keys, ls.Y, ls.Servers, ls.Hash.Skew, ls.SingleProbeRing.Skew, ls.MultiProbe.Skew, ls.Improvement)
+	return nil
+}

@@ -9,6 +9,12 @@
 //	plsctl -servers ...                                  dump   KEY        # per-server contents
 //	plsctl stats ADMIN_ADDR                                                # fetch a node's telemetry snapshot
 //
+// Membership verbs drive live cluster resizing (see docs/OPERATIONS.md
+// for the full scale-out / scale-in runbooks):
+//
+//	plsctl -servers ... join NEW_ADDR    # admit a listening plsd into the cluster
+//	plsctl -servers ... drain INDEX      # gracefully drain one member out
+//
 // The multi-key verbs take many keys per invocation and ship them in
 // the wire batch envelopes (PlaceBatch / AddBatch / LookupBatch), so a
 // whole working set costs one round trip per route instead of one per
@@ -58,7 +64,7 @@ func main() {
 func run() error {
 	var (
 		servers = flag.String("servers", "127.0.0.1:7001", "comma-separated server addresses")
-		scheme  = flag.String("scheme", "round", "placement scheme: full, fixed, randomserver, round, hash, partition")
+		scheme  = flag.String("scheme", "round", "placement scheme: full, fixed, randomserver, round, hash, multiprobe, partition")
 		x       = flag.Int("x", 0, "x parameter (fixed, randomserver)")
 		y       = flag.Int("y", 1, "y parameter (round, hash)")
 		seed    = flag.Uint64("hash-seed", 0, "hash family seed (hash scheme)")
@@ -92,13 +98,53 @@ func run() error {
 		return runStats(args[1], *statsJSON)
 	}
 	if len(args) < 2 {
-		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...] | mplace|madd|mlookup ... | stats ADMIN_ADDR")
+		return fmt.Errorf("usage: plsctl [flags] place|add|delete|lookup|dump KEY [args...] | mplace|madd|mlookup ... | join ADDR | drain INDEX | stats ADMIN_ADDR")
 	}
 	verb, key := args[0], args[1]
 
 	addrs, err := cliutil.ParseServerList(*servers)
 	if err != nil {
 		return err
+	}
+	// Membership verbs commit a cluster-wide rebalance — every member
+	// sweeps every key synchronously before the ack — so they use their
+	// own generously-timed client rather than the data-path one.
+	switch verb {
+	case "join":
+		reply, err := membershipCall(addrs, 0, wire.Join{Addr: key})
+		if err != nil {
+			return err
+		}
+		switch r := reply.(type) {
+		case wire.MembershipUpdate:
+			fmt.Printf("joined %s as server %d: cluster now %d members at epoch %d\n", key, r.NewN-1, r.NewN, r.Epoch)
+			return nil
+		case wire.Ack:
+			return fmt.Errorf("join %s: %s", key, r.Err)
+		default:
+			return fmt.Errorf("join %s: unexpected reply %T", key, reply)
+		}
+	case "drain":
+		idx, err := strconv.Atoi(key)
+		if err != nil {
+			return fmt.Errorf("usage: drain INDEX (got %q)", key)
+		}
+		// Coordinate from a survivor when one exists; draining the
+		// coordinator itself also works (it commits last), this just
+		// keeps the ack path independent of the leaver's shutdown.
+		coordinator := 0
+		if idx == 0 && len(addrs) > 1 {
+			coordinator = 1
+		}
+		reply, err := membershipCall(addrs, coordinator, wire.Leave{Server: idx})
+		if err != nil {
+			return err
+		}
+		if ack, ok := reply.(wire.Ack); !ok || ack.Err != "" {
+			return fmt.Errorf("drain %d: %v", idx, reply)
+		}
+		fmt.Printf("drained server %d: entries rebalanced onto the %d survivors\n", idx, len(addrs)-1)
+		return nil
 	}
 	reg := telemetry.NewRegistry()
 	tm := telemetry.NewTransportMetrics(reg, "transport", len(addrs))
@@ -292,6 +338,18 @@ func run() error {
 		return fmt.Errorf("unknown verb %q", verb)
 	}
 	return nil
+}
+
+// membershipCall sends one membership message (wire.Join or wire.Leave)
+// to the chosen coordinator over a dedicated client. The coordinator
+// only acks once every member has finished its rebalance sweep, so the
+// deadline is minutes, not the data-path -timeout.
+func membershipCall(addrs []string, coordinator int, msg wire.Message) (wire.Message, error) {
+	client := transport.NewClient(addrs, transport.WithTimeout(2*time.Minute))
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	return client.Call(ctx, coordinator, msg)
 }
 
 // runStats fetches a node's telemetry snapshot from its admin endpoint

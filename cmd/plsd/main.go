@@ -50,6 +50,13 @@ func run() error {
 		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
 		selObs  = flag.Bool("peer-selector", true, "score peer health (EWMA latency, failure streaks) and expose it via the admin endpoint")
 
+		// Dynamic membership. A daemon started with -join asks the given
+		// member to admit it once it is listening (its own entry must
+		// already be last in -peers); -drain-on-shutdown hands its
+		// entries to the survivors before exiting on SIGINT/SIGTERM.
+		joinVia         = flag.String("join", "", "existing member address to request admission from at startup (this daemon's -peers entry must be the last slot)")
+		drainOnShutdown = flag.Bool("drain-on-shutdown", false, "on shutdown, gracefully drain out of the cluster (rebalance entries to survivors) before exiting")
+
 		// Anti-entropy repair: background sweeps that re-replicate
 		// entries lost to dead peers, restoring each scheme's
 		// replication invariant. Driven by the selector scoreboard
@@ -151,17 +158,25 @@ func run() error {
 			Metrics: telemetry.NewSelectorMetrics(reg),
 		})
 		peerCaller = selector.Observe(peerCaller, sel)
+		// Membership can resize the selector at runtime, so the vector
+		// closures bounds-check against the live health slice.
 		reg.NewGaugeVecFunc("selector.consec_failures", len(addrs), func(i int) int64 {
-			return int64(sel.Health()[i].ConsecFails)
+			if h := sel.Health(); i < len(h) {
+				return int64(h[i].ConsecFails)
+			}
+			return 0
 		})
 		reg.NewGaugeVecFunc("selector.open", len(addrs), func(i int) int64 {
-			if sel.Health()[i].Open {
+			if h := sel.Health(); i < len(h) && h[i].Open {
 				return 1
 			}
 			return 0
 		})
 		reg.NewGaugeVecFunc("selector.ewma_ns", len(addrs), func(i int) int64 {
-			return int64(sel.Health()[i].EWMA)
+			if h := sel.Health(); i < len(h) {
+				return int64(h[i].EWMA)
+			}
+			return 0
 		})
 	}
 	if *retries > 1 {
@@ -172,6 +187,11 @@ func run() error {
 	// counters.
 	peerCaller = transport.Instrument(peerCaller, tm)
 	nd.Attach(peerCaller)
+
+	// Dynamic membership: this daemon can coordinate joins and drains
+	// (wire.Join / wire.Leave land on any member) and applies committed
+	// updates to its own transport view and selector.
+	mc := newMembershipController(nd, peerClient, sel)
 
 	// Anti-entropy repair: sweeps are epoch-gated on the selector's
 	// failure counter, so a healthy cluster pays nothing for this loop.
@@ -198,6 +218,20 @@ func run() error {
 	defer srv.Close()
 	fmt.Printf("plsd: server %d/%d listening on %s\n", *id, len(addrs), bound)
 
+	if *joinVia != "" {
+		// Scale-out: ask an existing member to admit us. We must be
+		// listening already — the coordinator's commit streams our share
+		// of every key at us before the reply arrives.
+		if *id != len(addrs)-1 {
+			return fmt.Errorf("-join requires this daemon to be the last -peers entry (got -id %d of %d)", *id, len(addrs))
+		}
+		update, err := joinCluster(context.Background(), *joinVia, addrs[*id], *timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plsd: joined as server %d/%d at epoch %d\n", *id, update.NewN, update.Epoch)
+	}
+
 	if *admin != "" {
 		reg.PublishExpvar("pls")
 		adminLn, err := net.Listen("tcp", *admin)
@@ -217,7 +251,22 @@ func run() error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	drained := false
+	select {
+	case <-sig:
+	case <-mc.drained:
+		// A drain coordinated elsewhere (plsctl drain) already moved our
+		// entries; fall through to the normal shutdown path.
+		drained = true
+	}
+	if *drainOnShutdown && !drained {
+		// Hand our entries to the survivors before exiting. Coordinated
+		// locally: survivors commit first, then our own sweep pushes.
+		fmt.Println("plsd: draining out of the cluster before shutdown")
+		if err := mc.Leave(context.Background(), nd.ID()); err != nil {
+			fmt.Fprintln(os.Stderr, "plsd: drain-on-shutdown:", err)
+		}
+	}
 	// Graceful shutdown: stop accepting and drain in-flight requests
 	// first — every ack we have sent must reach the log before the final
 	// snapshot — then flush and close the durable state.

@@ -11,7 +11,7 @@ import (
 
 // ParseScheme converts a CLI scheme name and parameters into a
 // validated strategy configuration. Accepted names: full, fixed,
-// randomserver, round, hash.
+// randomserver, round, hash, multiprobe, partition.
 func ParseScheme(name string, x, y int, seed uint64) (wire.Config, error) {
 	var cfg wire.Config
 	switch strings.ToLower(name) {
@@ -27,8 +27,10 @@ func ParseScheme(name string, x, y int, seed uint64) (wire.Config, error) {
 		cfg = wire.Config{Scheme: wire.Hash, Y: y, Seed: seed}
 	case "partition", "keypartition":
 		cfg = wire.Config{Scheme: wire.KeyPartition}
+	case "multiprobe", "mp":
+		cfg = wire.Config{Scheme: wire.MultiProbe, Y: y, Seed: seed}
 	default:
-		return cfg, fmt.Errorf("cliutil: unknown scheme %q (want full, fixed, randomserver, round, hash, or partition)", name)
+		return cfg, fmt.Errorf("cliutil: unknown scheme %q (want full, fixed, randomserver, round, hash, multiprobe, or partition)", name)
 	}
 	// n is unknown at flag-parse time; validate the scheme-local
 	// constraints only (n-dependent checks re-run at place time).

@@ -12,6 +12,8 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Cluster is a set of n in-process lookup servers.
@@ -27,6 +30,7 @@ type Cluster struct {
 	tr    *transport.Inproc
 	chaos *transport.Chaos
 	nodes []*node.Node
+	addrs []string // synthetic member addresses (sim://i), unique per member
 
 	// caller is what clients probe through: the chaos middleware, or —
 	// after EnableTelemetry — an instrumented wrapper over it.
@@ -38,6 +42,13 @@ type Cluster struct {
 	// Replace); Health exposes it so repair sweeps can skip converged
 	// clusters.
 	epoch atomic.Uint64
+
+	// memberEpoch counts committed membership transitions (Join/Drain);
+	// it rides on every MembershipUpdate so members can discard replays.
+	memberEpoch atomic.Uint64
+	// nextAddr numbers synthetic joiner addresses; it never reuses a
+	// drained member's number, so double-join detection stays simple.
+	nextAddr int
 }
 
 // New creates a cluster of n servers. Each node receives an independent
@@ -47,11 +58,14 @@ func New(n int, rng *stats.RNG) *Cluster {
 		panic("cluster: New requires n > 0")
 	}
 	c := &Cluster{
-		tr:    transport.NewInproc(n),
-		nodes: make([]*node.Node, n),
+		tr:       transport.NewInproc(n),
+		nodes:    make([]*node.Node, n),
+		addrs:    make([]string, n),
+		nextAddr: n,
 	}
 	for i := 0; i < n; i++ {
 		c.nodes[i] = node.New(i, rng.Split())
+		c.addrs[i] = fmt.Sprintf("sim://%d", i)
 	}
 	// The chaos RNG splits after the node RNGs so node seeds (and every
 	// golden value derived from them) match the pre-chaos layout.
@@ -90,10 +104,19 @@ func (c *Cluster) EnableTelemetry(reg *telemetry.Registry) *telemetry.TransportM
 	for _, nd := range c.nodes {
 		nd.Instrument(c.nm)
 	}
+	// The gauge vectors are sized at instrumentation time; after a drain
+	// the cluster may be smaller, so the closures bounds-check (a joiner
+	// beyond the original size reports through the discard lane).
 	reg.NewGaugeVecFunc("node.entries", n, func(i int) int64 {
+		if i >= len(c.nodes) {
+			return 0
+		}
 		return int64(c.nodes[i].EntryCount())
 	})
 	reg.NewGaugeVecFunc("node.keys", n, func(i int) int64 {
+		if i >= len(c.nodes) {
+			return 0
+		}
 		return int64(c.nodes[i].KeyCount())
 	})
 	return c.tm
@@ -251,3 +274,181 @@ func (c *Cluster) ProcessedBy(server int) int64 { return c.tr.Processed(server) 
 // ResetMessages zeroes the message counters (e.g. after placement, so
 // an experiment counts update traffic only).
 func (c *Cluster) ResetMessages() { c.tr.ResetCounters() }
+
+// MemberEpoch returns the number of committed membership transitions.
+func (c *Cluster) MemberEpoch() uint64 { return c.memberEpoch.Load() }
+
+// Addrs returns a copy of the current member address list.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Join admits a new server with a synthesized address. See JoinAddr.
+func (c *Cluster) Join(ctx context.Context, rng *stats.RNG) (*node.Node, error) {
+	addr := fmt.Sprintf("sim://%d", c.nextAddr)
+	return c.JoinAddr(ctx, addr, rng)
+}
+
+// JoinAddr admits a new server at addr into the running cluster: the
+// node takes the next slot, every member (new one included) receives
+// the committed MembershipUpdate in ascending slot order, and each
+// rebalances its share of every key synchronously before acking — when
+// JoinAddr returns, the cluster satisfies every scheme's placement
+// invariant at the new size. Down members are skipped and simply miss
+// the update, the paper's fault model; the anti-entropy sweep fixes
+// them after recovery (the failure epoch is advanced here for exactly
+// that reason). The caller supplies the joiner's RNG, as with Replace,
+// so the cluster's own seed stream is never perturbed.
+//
+// Membership operations are orchestration-plane: they must not run
+// concurrently with each other (they may run alongside lookups, which
+// never block on rebalance).
+func (c *Cluster) JoinAddr(ctx context.Context, addr string, rng *stats.RNG) (*node.Node, error) {
+	for _, a := range c.addrs {
+		if a == addr {
+			return nil, fmt.Errorf("cluster: %s is already a member", addr)
+		}
+	}
+	oldN := len(c.nodes)
+	nd := node.New(oldN, rng)
+	nd.Attach(c.chaos.Origin(oldN))
+	if c.nm != nil {
+		nd.Instrument(c.nm)
+	}
+	c.chaos.Grow(1)
+	c.tr.Add(nd)
+	c.nodes = append(c.nodes, nd)
+	c.addrs = append(c.addrs, addr)
+	c.nextAddr++
+
+	m := wire.MembershipUpdate{
+		Epoch:   c.memberEpoch.Add(1),
+		OldN:    oldN,
+		NewN:    oldN + 1,
+		Joined:  []int{oldN},
+		Leaving: -1,
+		Addrs:   c.Addrs(),
+	}
+	err := c.broadcastUpdate(ctx, m, nil)
+	// New failure picture (one more member): epoch-gated repair must
+	// rescan, and it is also what finishes the job for any member that
+	// was down during the broadcast.
+	c.epoch.Add(1)
+	return nd, err
+}
+
+// Drain removes server i gracefully: the leaver rebalances first
+// (handing its share to the surviving homes and dropping only copies
+// with a confirmed survivor), then every survivor in ascending order,
+// and only after every ack is the slot physically compacted — higher
+// ids shift down by one and the affected nodes are renumbered. The
+// drained node is returned still holding whatever could not be safely
+// handed off (its final snapshot is the operator's escrow; see
+// docs/OPERATIONS.md). Draining a down member is refused: a corpse
+// cannot push its entries, that is what Replace + repair are for.
+func (c *Cluster) Drain(ctx context.Context, i int) (*node.Node, error) {
+	n := len(c.nodes)
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("cluster: drain of server %d out of range [0,%d)", i, n)
+	}
+	if n == 1 {
+		return nil, fmt.Errorf("cluster: refusing to drain the last member")
+	}
+	if c.tr.Down(i) {
+		return nil, fmt.Errorf("cluster: refusing to drain down server %d (use Replace)", i)
+	}
+	survivors := make([]string, 0, n-1)
+	for s, a := range c.addrs {
+		if s != i {
+			survivors = append(survivors, a)
+		}
+	}
+	m := wire.MembershipUpdate{
+		Epoch:   c.memberEpoch.Add(1),
+		OldN:    n,
+		NewN:    n - 1,
+		Leaving: i,
+		Addrs:   survivors,
+	}
+	// The leaver sweeps first — its pushes are what move the data — so
+	// it leads the broadcast order.
+	err := c.broadcastUpdate(ctx, m, []int{i})
+
+	leaver := c.nodes[i]
+	c.tr.Remove(i)
+	c.chaos.Compact(i)
+	c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+	c.addrs = append(c.addrs[:i], c.addrs[i+1:]...)
+	for s := i; s < len(c.nodes); s++ {
+		c.nodes[s].SetID(s)
+		c.nodes[s].Attach(c.chaos.Origin(s))
+	}
+	for _, nd := range c.nodes {
+		nd.MarkCompacted(m.Epoch)
+	}
+	c.epoch.Add(1)
+	return leaver, err
+}
+
+// broadcastUpdate delivers a MembershipUpdate to every member, first
+// in listed order, then the rest ascending, skipping down members (the
+// paper's fault model: down servers lose updates) and collecting the
+// first error. Delivery goes through the cluster caller so membership
+// traffic is counted and chaos-faulted like any other.
+func (c *Cluster) broadcastUpdate(ctx context.Context, m wire.MembershipUpdate, first []int) error {
+	sent := make(map[int]bool, len(c.nodes))
+	var firstErr error
+	deliver := func(target int) {
+		if sent[target] || c.tr.Down(target) {
+			return
+		}
+		sent[target] = true
+		reply, err := c.caller.Call(ctx, target, m)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: membership update to %d: %w", target, err)
+			}
+			return
+		}
+		if ack, ok := reply.(wire.Ack); ok && ack.Err != "" && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: membership update to %d: %s", target, ack.Err)
+		}
+	}
+	for _, t := range first {
+		deliver(t)
+	}
+	for t := 0; t < len(c.nodes); t++ {
+		deliver(t)
+	}
+	return firstErr
+}
+
+// Manager adapts the cluster to the node.MembershipManager contract so
+// simulations can serve wire-level Join/Leave frames (the TCP daemon
+// has its own controller). Each admitted joiner's RNG is minted by
+// mint, keeping seed management in the caller's hands.
+func (c *Cluster) Manager(mint func() *stats.RNG) node.MembershipManager {
+	return clusterManager{c: c, mint: mint}
+}
+
+type clusterManager struct {
+	c    *Cluster
+	mint func() *stats.RNG
+}
+
+func (m clusterManager) Join(ctx context.Context, addr string) (wire.MembershipUpdate, error) {
+	if _, err := m.c.JoinAddr(ctx, addr, m.mint()); err != nil {
+		return wire.MembershipUpdate{}, err
+	}
+	return wire.MembershipUpdate{
+		Epoch:   m.c.MemberEpoch(),
+		OldN:    len(m.c.nodes) - 1,
+		NewN:    len(m.c.nodes),
+		Joined:  []int{len(m.c.nodes) - 1},
+		Leaving: -1,
+		Addrs:   m.c.Addrs(),
+	}, nil
+}
+
+func (m clusterManager) Leave(ctx context.Context, server int) error {
+	_, err := m.c.Drain(ctx, server)
+	return err
+}

@@ -3,8 +3,10 @@
 // servers, where each lookup returns at least t entries rather than the
 // full entry set.
 //
-// Service is the public API surface. Each key is managed by one of the
-// five placement strategies of Sec. 3; different keys may use different
+// Service is the public API surface. Each key is managed by a
+// placement strategy — the paper's five from Sec. 3 plus the
+// KeyPartition baseline and the MultiProbe consistent-hashing
+// extension; different keys may use different
 // strategies ("frequently updated keys require strategies with small
 // update costs, while static keys want low lookup costs and fairness"),
 // selected per key, by a classifier, or by a service-wide default.
@@ -37,11 +39,11 @@ type (
 	Entry = entry.Entry
 	// Config selects a placement strategy and its parameter.
 	Config = wire.Config
-	// Scheme identifies one of the five placement strategies.
+	// Scheme identifies one of the placement strategies below.
 	Scheme = wire.Scheme
 )
 
-// The five placement strategies of Sec. 3.
+// The five placement strategies of Sec. 3, plus two extensions.
 const (
 	FullReplication = wire.FullReplication
 	Fixed           = wire.Fixed
@@ -51,6 +53,11 @@ const (
 	// KeyPartition is the traditional hashing baseline (Fig. 1
 	// center): the key's complete entry set on one hashed server.
 	KeyPartition = wire.KeyPartition
+	// MultiProbe is the multi-probe consistent hashing extension
+	// (arXiv:1505.00062): Hash-y's protocol shape over ring-based
+	// assignment, so membership changes move ~1/(n+1) of the entries
+	// instead of re-homing nearly everything.
+	MultiProbe = wire.MultiProbe
 )
 
 // Classifier maps a key to its strategy configuration. Returning

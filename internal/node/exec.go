@@ -50,6 +50,22 @@ type executor interface {
 	// ownership). It runs inside Update (key locked), must not call
 	// peers or consume RNG, and returns how many entries it stored.
 	repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int
+
+	// rebalancePlan is repairPlan's membership-change analogue: given
+	// this node's post-change rank (selfRank, -1 when it is the leaver)
+	// and the transition mc, it returns the transfers to offer peers
+	// (targets in post-change rank space) plus the local entries that
+	// may be dropped once a surviving copy is confirmed. Same contract
+	// as repairPlan: no key lock held, no RNG — rebalancing moves
+	// existing entries at existing positions, it never redraws, which
+	// is what keeps seeded lookups byte-identical across churn.
+	rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string)
+
+	// rebalanceAccept applies a RebalancePush under the post-change
+	// membership the message self-describes (m.NewN, and selfRank is
+	// this node's rank once m.Leaving is gone). Runs inside Update,
+	// must not call peers or consume RNG; returns entries stored.
+	rebalanceAccept(n *Node, st *store.State, m wire.RebalancePush, selfRank int) int
 }
 
 // execFor returns the executor for a scheme. Keys whose config is still
@@ -68,6 +84,8 @@ func execFor(s wire.Scheme) executor {
 		return hashExec{}
 	case wire.KeyPartition:
 		return partExec{}
+	case wire.MultiProbe:
+		return mpExec{}
 	default:
 		return fullExec{}
 	}

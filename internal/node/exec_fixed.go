@@ -65,6 +65,26 @@ func (fixedExec) repairPlan(self int, v repairView, numServers int) []repairCand
 	return everyPeerCandidate(self, v.entries, numServers, true)
 }
 
+// rebalancePlan: every post-change peer is offered the local set as a
+// fill-to-x candidate, exactly like repair. On a join this tops the
+// newcomer up to the shared first-x set (node 0 sweeps first, and all
+// Fixed sets are identical, so the joiner converges to that set); on a
+// leave the drop of the leaver's copy is safety-gated like any other,
+// which is trivially confirmed: the survivors hold the same set, so
+// the query phase vouches for every entry.
+func (fixedExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string) {
+	push := everyPeerCandidate(selfRank, v.entries, mc.newN, true)
+	if selfRank < 0 {
+		return push, append([]string(nil), v.entries...)
+	}
+	return push, nil
+}
+
+// rebalanceAccept: the same fill-to-x rule as repairAccept.
+func (f fixedExec) rebalanceAccept(n *Node, st *store.State, m wire.RebalancePush, _ int) int {
+	return f.repairAccept(n, st, repairPushOf(m), m.NewN)
+}
+
 // repairAccept: store missing entries while below x, the same local
 // rule storeOne applies.
 func (fixedExec) repairAccept(_ *Node, st *store.State, m wire.RepairPush, _ int) int {

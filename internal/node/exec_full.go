@@ -59,3 +59,19 @@ func (fullExec) repairAccept(_ *Node, st *store.State, m wire.RepairPush, _ int)
 	}
 	return accepted
 }
+
+// rebalancePlan: a joiner needs the whole set, so every post-change
+// peer is offered everything (the query phase skips peers that already
+// hold it). A leaver drops its whole copy — every survivor has one.
+func (fullExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string) {
+	push := everyPeerCandidate(selfRank, v.entries, mc.newN, false)
+	if selfRank < 0 {
+		return push, append([]string(nil), v.entries...)
+	}
+	return push, nil
+}
+
+// rebalanceAccept: same unconditional rule as repairAccept.
+func (f fullExec) rebalanceAccept(n *Node, st *store.State, m wire.RebalancePush, _ int) int {
+	return f.repairAccept(n, st, repairPushOf(m), m.NewN)
+}

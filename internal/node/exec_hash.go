@@ -103,6 +103,56 @@ func (hashExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numSer
 	return accepted
 }
 
+// rebalancePlan: recompute f1(v)..fy(v) under the post-change member
+// count. This is the scheme the membership layer exists to improve on:
+// the mod-n in HashAssign remaps almost every entry when n changes, so
+// nearly the whole key space is offered and re-homed (contrast
+// mpExec.rebalancePlan).
+func (hashExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string) {
+	if v.cfg.Y <= 0 {
+		return nil, nil
+	}
+	push := perEntryHomeCandidates(selfRank, v.entries, mc.newN, false,
+		func(s string) ([]int, int, bool) {
+			return HashAssign(s, v.cfg.Y, mc.newN, v.cfg.Seed), 0, true
+		})
+	var drop []string
+	for _, s := range v.entries {
+		if selfRank < 0 || !hashHome(s, v.cfg, mc.newN, selfRank) {
+			drop = append(drop, s)
+		}
+	}
+	return push, drop
+}
+
+// rebalanceAccept: the repairAccept rule evaluated under the
+// post-change view the push self-describes.
+func (hashExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
+	accepted := 0
+	for _, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if !hashHome(s, st.Cfg, m.NewN, selfRank) {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+func hashHome(s string, cfg wire.Config, n, id int) bool {
+	for _, t := range HashAssign(s, cfg.Y, n, cfg.Seed) {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
 // HashAssign returns the distinct servers f1(v)..fy(v) that Hash-y
 // assigns entry v to, in a cluster of n servers. The paper leaves the
 // hash family abstract; we hash the entry once with FNV-1a and derive
@@ -121,10 +171,7 @@ func HashAssign(v string, y, n int, seed uint64) []int {
 	targets := make([]int, 0, y)
 	seen := make(map[int]bool, y)
 	for i := 0; i < y; i++ {
-		z := base + uint64(i+1)*0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		z ^= z >> 31
+		z := mix64(base + uint64(i+1)*0x9e3779b97f4a7c15)
 		target := int(z % uint64(n))
 		if !seen[target] {
 			seen[target] = true

@@ -68,6 +68,41 @@ func (partExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numSer
 	return accepted
 }
 
+// rebalancePlan: the key's home moves with the member count's mod-n,
+// so when the post-change home is some other server the whole local
+// set is offered to it, and the local copy is dropped once the move is
+// confirmed. This generalizes the baseline's total re-partition cost,
+// which the membership benchmark contrasts with MultiProbe.
+func (partExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string) {
+	if len(v.entries) == 0 || mc.newN <= 0 {
+		return nil, nil
+	}
+	home := PartitionServer(v.key, mc.newN)
+	if home == selfRank {
+		return nil, nil
+	}
+	push := []repairCandidate{{target: home, entries: v.entries}}
+	return push, append([]string(nil), v.entries...)
+}
+
+// rebalanceAccept: only the post-change home may store entries.
+func (partExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
+	if m.NewN <= 0 || PartitionServer(st.Key, m.NewN) != selfRank {
+		return 0
+	}
+	accepted := 0
+	for _, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if logAdd(st, v) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
 // PartitionServer returns the single server responsible for a key
 // under the traditional hashing baseline (Fig. 1 center).
 func PartitionServer(key string, n int) int {

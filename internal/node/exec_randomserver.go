@@ -184,6 +184,27 @@ func (rsExec) repairAccept(_ *Node, st *store.State, m wire.RepairPush, _ int) i
 	return accepted
 }
 
+// rebalancePlan: like repair, every post-change peer is a fill-to-x
+// refill candidate; a joiner builds its x-subset from whichever peers
+// sweep first (biased like repair's refill — rebalance never consumes
+// RNG). A leaver offers its subset and drops only what a survivor
+// confirms holding or accepts: subsets are independent draws, so a
+// sole copy whose peers are all at capacity has no safe home — it
+// rides out in the leaver's escrow snapshot instead of being lost.
+func (rsExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string) {
+	push := everyPeerCandidate(selfRank, v.entries, mc.newN, true)
+	if selfRank < 0 {
+		return push, append([]string(nil), v.entries...)
+	}
+	return push, nil
+}
+
+// rebalanceAccept: adopt the pushed system count and refill below x,
+// the repairAccept rule.
+func (r rsExec) rebalanceAccept(n *Node, st *store.State, m wire.RebalancePush, _ int) int {
+	return r.repairAccept(n, st, repairPushOf(m), m.NewN)
+}
+
 // SystemCount returns the node's local estimate of the number of entries
 // in the system for a key (maintained by the RandomServer protocol).
 func (n *Node) SystemCount(key string) int {

@@ -396,6 +396,90 @@ func (roundExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numSe
 	return accepted
 }
 
+// rebalancePlan: position p's window is re-evaluated mod the
+// post-change member count — entry copies are offered to the servers of
+// their new window at their existing positions (plug, never redraw),
+// and a copy whose new window no longer covers this server is dropped
+// once a surviving copy is confirmed. The coordinator counters are
+// re-mirrored by the sweep itself (CounterSync over the post-change
+// coordinator slots), not by the plan, which may not call peers. A
+// drain that would leave y > n keeps everything: the window invariant
+// is unrepresentable until the config itself is re-placed.
+func (roundExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repairCandidate, []string) {
+	y := v.cfg.Y
+	if y <= 0 || y > mc.newN {
+		return nil, nil
+	}
+	push := perEntryHomeCandidates(selfRank, v.entries, mc.newN, true,
+		func(s string) ([]int, int, bool) {
+			pos, ok := v.positions[s]
+			if !ok || pos < 0 {
+				return nil, 0, false
+			}
+			targets := make([]int, 0, y)
+			for j := 0; j < y; j++ {
+				targets = append(targets, (pos+j)%mc.newN)
+			}
+			return targets, pos, true
+		})
+	var drop []string
+	for _, s := range v.entries {
+		pos, ok := v.positions[s]
+		if !ok || pos < 0 {
+			continue // unpositioned stragglers stay; repair owns them
+		}
+		in := false
+		if selfRank >= 0 {
+			for j := 0; j < y; j++ {
+				if (pos+j)%mc.newN == selfRank {
+					in = true
+					break
+				}
+			}
+		}
+		if !in {
+			drop = append(drop, s)
+		}
+	}
+	return push, drop
+}
+
+// rebalanceAccept: repairAccept's window check evaluated at this
+// node's post-change rank against the pushed member count.
+func (roundExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
+	if !m.HasPos || len(m.Positions) != len(m.Entries) || m.NewN <= 0 || selfRank < 0 {
+		return 0
+	}
+	y := st.Cfg.Y
+	if y <= 0 {
+		return 0
+	}
+	accepted := 0
+	for i, s := range m.Entries {
+		v := entry.Entry(s)
+		if !v.Valid() || st.Set.Contains(v) {
+			continue
+		}
+		if m.Positions[i] > uint64(1<<31-1) {
+			continue
+		}
+		pos := int(m.Positions[i])
+		inWindow := false
+		for j := 0; j < y && j < m.NewN; j++ {
+			if (pos+j)%m.NewN == selfRank {
+				inWindow = true
+				break
+			}
+		}
+		if !inWindow {
+			continue
+		}
+		logAddAt(st, v, pos)
+		accepted++
+	}
+	return accepted
+}
+
 // coordinators returns how many servers mirror the Round-y counters.
 func coordinators(cfg wire.Config) int {
 	if cfg.Coordinators > 1 {

@@ -1,0 +1,118 @@
+package node_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/entry"
+	"repro/internal/plstest"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// FuzzRebalanceAccept throws corrupt membership-transfer traffic at a
+// live cluster: RebalancePush frames with arbitrary transition claims
+// (hostile NewN/Leaving/Epoch), oversized positions, colliding keys,
+// and invalid configs land on a placed cluster, then a real join runs
+// the rebalance planner over whatever the rogue frames left behind.
+// Three properties must survive anything the fuzzer finds:
+//
+//   - no handler or planner panics;
+//   - a push addressed to the transition's own leaver is refused;
+//   - after the genuine join commits, the placed key passes the full
+//     structural check at the new size — rogue entries accepted under a
+//     claimed transition are themselves re-homed or safely dropped by
+//     the real one, never stranded somewhere the scheme forbids.
+func FuzzRebalanceAccept(f *testing.F) {
+	f.Add(uint8(0), uint8(2), uint8(2), uint8(1), uint8(1), uint64(7), "a,b,c", []byte{1, 2, 3}, true, uint16(9), uint8(5), int8(-1), uint64(1))
+	f.Add(uint8(4), uint8(1), uint8(9), uint8(0), uint8(2), uint64(0), "", []byte(nil), false, uint16(0), uint8(0), int8(2), uint64(0))
+	f.Add(uint8(6), uint8(0), uint8(3), uint8(3), uint8(7), ^uint64(0), "v1,,v2", []byte{255, 0, 31}, true, uint16(65535), uint8(9), int8(-5), ^uint64(0))
+	f.Add(uint8(3), uint8(8), uint8(0), uint8(2), uint8(3), uint64(42), "zzzz", []byte{7}, false, uint16(1), uint8(4), int8(3), uint64(2))
+
+	schemes := []wire.Scheme{
+		wire.FullReplication, wire.Fixed, wire.RandomServer,
+		wire.RoundRobin, wire.Hash, wire.KeyPartition, wire.MultiProbe,
+	}
+	f.Fuzz(func(t *testing.T, schemeByte, rx, ry, coords, target uint8,
+		seed uint64, blob string, posBlob []byte, hasPos bool, hcount uint16,
+		newN8 uint8, leaving8 int8, epoch uint64) {
+		const n = 4
+		ctx := context.Background()
+		cfg := wire.Config{Scheme: schemes[int(schemeByte)%len(schemes)]}
+		switch cfg.Scheme {
+		case wire.Fixed, wire.RandomServer:
+			cfg.X = 1 + int(rx)%8
+		case wire.RoundRobin:
+			cfg.Y = 1 + int(ry)%n
+			cfg.Coordinators = int(coords) % 3
+		case wire.Hash, wire.MultiProbe:
+			cfg.Y = 1 + int(ry)%n
+			cfg.Seed = seed
+		}
+
+		h := newHarness(t, n, 9)
+		live := liveFrom(entry.Synthetic(12))
+		h.place(initialServer(cfg, "k", n), cfg, entry.Synthetic(12))
+
+		// Rogue entries are prefixed so they cannot collide with the
+		// placed population (the same trust split as FuzzRepairPlan).
+		var entries []string
+		start := 0
+		for i := 0; i <= len(blob) && len(entries) < 8; i++ {
+			if i == len(blob) || blob[i] == ',' {
+				entries = append(entries, "z-"+blob[start:i])
+				start = i + 1
+			}
+		}
+		positions := make([]uint64, len(posBlob))
+		for i, b := range posBlob {
+			positions[i] = uint64(b) << (b % 60) // hits the overflow guard
+		}
+
+		tgt := int(target) % n
+		// Hostile transition claims under the true config: NewN ranges
+		// over invalid (-1, 0) and mismatched sizes, Leaving over the
+		// whole int8 range.
+		h.cl.Node(tgt).Handle(ctx, wire.RebalancePush{
+			Key: "k", Config: cfg, Entries: entries,
+			Positions: positions, HasPos: hasPos, HCount: int(hcount),
+			Epoch: epoch, NewN: int(newN8)%7 - 1, Leaving: int(leaving8),
+		})
+		// A push addressed to the transition's own leaver must bounce.
+		reply := h.cl.Node(tgt).Handle(ctx, wire.RebalancePush{
+			Key: "k", Config: cfg, Entries: entries,
+			Positions: positions, HasPos: hasPos,
+			Epoch: epoch, NewN: n, Leaving: tgt,
+		})
+		if pr, ok := reply.(wire.RepairPushReply); !ok || pr.Err == "" {
+			t.Fatalf("push addressed to the leaver accepted: %+v", reply)
+		}
+		// Hostile config on a fresh key: invalid configs may not create
+		// key state (validated against the claimed post-change size).
+		h.cl.Node(tgt).Handle(ctx, wire.RebalancePush{
+			Key: "k2",
+			Config: wire.Config{
+				Scheme: wire.Scheme(schemeByte), X: int(rx) - 4, Y: int(ry) - 4,
+				Coordinators: int(coords), Seed: seed,
+			},
+			Entries: entries, Positions: positions, HasPos: hasPos,
+			HCount: int(hcount), Epoch: epoch, NewN: int(newN8) % 7, Leaving: int(leaving8),
+		})
+
+		// A genuine join re-homes whatever the rogue frames left behind;
+		// the structural invariants must then hold at the new size, and
+		// the placed population must still be fully covered.
+		if _, err := h.cl.Join(ctx, stats.NewRNG(seed|1)); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		v := plstest.Observe(h.cl, "k", cfg)
+		if errs := v.Check(nil); len(errs) != 0 {
+			t.Fatalf("post-join structural violations: %v", errs)
+		}
+		if cfg.Scheme != wire.RandomServer { // rogue HCount legitimately skews the RS count estimate
+			if errs := v.CheckCoverage(live); len(errs) != 0 {
+				t.Fatalf("post-join coverage violations: %v", errs)
+			}
+		}
+	})
+}

@@ -54,8 +54,22 @@ type Node struct {
 	// store owns all per-key state; see package store.
 	store *store.Store
 
-	peersMu sync.RWMutex
-	peers   transport.Caller
+	// memberEpoch is the last committed membership epoch; updates at or
+	// below it are replays and ack as no-ops (see membership.go).
+	memberEpoch   atomic.Uint64
+	lastRebalance atomic.Pointer[RebalanceStats]
+	// compactedEpoch is the last epoch whose slot compaction the host
+	// has applied (the leaver removed, this node renumbered). At that
+	// point the node's id IS its post-change rank, and same-epoch
+	// rebalance pushes still in flight from slower members must not be
+	// mapped through rankOf again (see handleRebalancePush).
+	compactedEpoch atomic.Uint64
+
+	peersMu     sync.RWMutex
+	peers       transport.Caller
+	membership  MembershipManager
+	memberHook  func(wire.MembershipUpdate)
+	appliedHook func(wire.MembershipUpdate)
 }
 
 var _ transport.Handler = (*Node)(nil)
@@ -153,6 +167,14 @@ func (n *Node) Handle(ctx context.Context, msg wire.Message) wire.Message {
 		return n.handleRepairQuery(m)
 	case wire.RepairPush:
 		return n.handleRepairPush(m)
+	case wire.Join:
+		return n.handleJoin(ctx, m)
+	case wire.Leave:
+		return n.handleLeave(ctx, m)
+	case wire.MembershipUpdate:
+		return n.handleMembershipUpdate(ctx, m)
+	case wire.RebalancePush:
+		return n.handleRebalancePush(m)
 	case wire.Ping:
 		return wire.Ack{}
 	default:

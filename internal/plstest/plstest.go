@@ -1,4 +1,4 @@
-// Package plstest is a cluster-wide invariant checker for the five
+// Package plstest is a cluster-wide invariant checker for the
 // placement schemes: given a snapshot of every server's local state
 // for a key and the key's placement config, it verifies the structural
 // invariants each scheme promises (set-size bounds, Round-y position
@@ -150,6 +150,19 @@ func (v View) Check(live *entry.Set) []error {
 					errs = append(errs, fmt.Errorf("key %q: server %d stores entry %q outside its Hash-y assignment", v.Key, i, m))
 				}
 			}
+		case wire.MultiProbe:
+			for _, m := range sv.Set.Members() {
+				home := false
+				for _, t := range node.MultiProbeAssign(string(m), cfg.Y, n, cfg.Seed) {
+					if t == i {
+						home = true
+						break
+					}
+				}
+				if !home {
+					errs = append(errs, fmt.Errorf("key %q: server %d stores entry %q outside its MultiProbe-y assignment", v.Key, i, m))
+				}
+			}
 		case wire.KeyPartition:
 			if sv.Set.Len() > 0 && i != node.PartitionServer(v.Key, n) {
 				errs = append(errs, fmt.Errorf("key %q: server %d stores %d entries but the partition home is server %d", v.Key, i, sv.Set.Len(), node.PartitionServer(v.Key, n)))
@@ -264,6 +277,24 @@ func (v View) CheckCoverage(live *entry.Set) []error {
 			}
 			if !stored {
 				errs = append(errs, fmt.Errorf("key %q: live entry %q is not stored on any alive Hash-y home (lost)", v.Key, m))
+			}
+		}
+	case wire.MultiProbe:
+		for _, m := range live.Members() {
+			stored := false
+			for _, t := range node.MultiProbeAssign(string(m), cfg.Y, n, cfg.Seed) {
+				sv := v.Servers[t]
+				if !sv.Alive {
+					continue
+				}
+				if sv.Set.Contains(m) {
+					stored = true
+				} else {
+					errs = append(errs, fmt.Errorf("key %q: alive server %d is missing entry %q (MultiProbe-y home)", v.Key, t, m))
+				}
+			}
+			if !stored {
+				errs = append(errs, fmt.Errorf("key %q: live entry %q is not stored on any alive MultiProbe-y home (lost)", v.Key, m))
 			}
 		}
 	case wire.KeyPartition:

@@ -115,7 +115,39 @@ func New(n int, opt Options) *Selector {
 }
 
 // N returns the cluster size the selector tracks.
-func (s *Selector) N() int { return len(s.servers) }
+func (s *Selector) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.servers)
+}
+
+// Resize re-sizes the scoreboard after a membership change. Growth
+// (a join: existing ids are stable) appends cold rows and keeps the
+// accumulated signal; shrinkage (a drain: higher ids shifted down)
+// resets the scoreboard, since per-id signal would be misattributed to
+// the wrong servers. Either way the routing cache is dropped — cached
+// server ids are stale the moment the member list changes — and the
+// failure epoch advances so epoch-gated repair sweeps rescan under the
+// new topology.
+func (s *Selector) Resize(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("selector: Resize requires n > 0, got %d", n))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == len(s.servers) {
+		return
+	}
+	if n > len(s.servers) {
+		grown := make([]serverState, n)
+		copy(grown, s.servers)
+		s.servers = grown
+	} else {
+		s.servers = make([]serverState, n)
+	}
+	s.cache = newRouteCache(s.opt.CacheKeys, s.opt.CacheServersPerKey)
+	s.failures++
+}
 
 // RecordSuccess feeds one successful call's latency into the
 // scoreboard; it closes an open server (the half-open trial passed).

@@ -208,7 +208,8 @@ func coordinatorCount(cfg wire.Config, n int) int {
 // live server for everything; KeyPartition fans out one envelope per
 // home server; the partial schemes (RandomServer-x, Hash-y, Round-y)
 // walk live servers in random order, shrinking the envelope as keys
-// reach t entries. Round-y gives up its per-key deterministic s+y walk
+// reach t entries (MultiProbe-y probes like Hash-y: random order).
+// Round-y gives up its per-key deterministic s+y walk
 // here — a batch shares one probe sequence across keys, which is the
 // point of batching — and uses the random walk the paper prescribes as
 // its failure fallback.

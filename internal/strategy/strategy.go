@@ -223,7 +223,7 @@ func (d *Driver) PartialLookup(ctx context.Context, c transport.Caller, key stri
 		return d.lookupRoundRobin(ctx, c, key, t)
 	case wire.KeyPartition:
 		return d.lookupPartition(ctx, c, key, t)
-	default: // RandomServer, Hash
+	default: // RandomServer, Hash, MultiProbe
 		return d.lookupRandomOrder(ctx, c, key, t)
 	}
 }

@@ -1,0 +1,155 @@
+// Command benchdiff guards the performance trajectory: it compares a
+// freshly generated plsbench JSON report against a checked-in baseline
+// and exits non-zero when any throughput metric regressed by more than
+// the threshold (default 25%). Improvements and small noise pass; the
+// gate only catches real cliffs, so it is safe on shared CI runners.
+//
+// Usage:
+//
+//	go run ./internal/tools/benchdiff [-threshold 0.25] baseline.json current.json [baseline2.json current2.json ...]
+//
+// The report kind is sniffed from its fields — BENCH_node.json
+// (sharded/coarse lookup ops_per_sec, batch keys_per_sec) and
+// BENCH_wal.json (volatile plus per-fsync-policy acked-mutation
+// ops_per_sec) are understood. Refresh a baseline by regenerating the
+// report on a quiet machine and committing it over the old one:
+//
+//	go run ./cmd/plsbench -node-bench results/baselines/BENCH_node.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// metric is one throughput number extracted from a report, keyed by a
+// stable human-readable name so baseline and current line up even if
+// JSON ordering changes.
+type metric struct {
+	name  string
+	value float64
+}
+
+// nodeReport mirrors the throughput-bearing subset of BENCH_node.json.
+type nodeReport struct {
+	Sharded struct {
+		OpsPerSec float64 `json:"ops_per_sec"`
+	} `json:"sharded"`
+	Coarse struct {
+		OpsPerSec float64 `json:"ops_per_sec"`
+	} `json:"coarse"`
+	Batch struct {
+		KeysPerSec float64 `json:"keys_per_sec"`
+	} `json:"batch"`
+}
+
+// walReport mirrors the throughput-bearing subset of BENCH_wal.json.
+type walReport struct {
+	Volatile struct {
+		OpsPerSec float64 `json:"ops_per_sec"`
+	} `json:"volatile"`
+	Arms []struct {
+		Policy    string  `json:"policy"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+	} `json:"arms"`
+}
+
+// extract sniffs the report kind from its top-level fields and returns
+// its throughput metrics. Unknown shapes are an error, not a silent
+// pass: a renamed field must not disarm the gate.
+func extract(path string) ([]metric, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case probe["sharded"] != nil:
+		var r nodeReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return []metric{
+			{"node.sharded.ops_per_sec", r.Sharded.OpsPerSec},
+			{"node.coarse.ops_per_sec", r.Coarse.OpsPerSec},
+			{"node.batch.keys_per_sec", r.Batch.KeysPerSec},
+		}, nil
+	case probe["volatile"] != nil:
+		var r walReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		ms := []metric{{"wal.volatile.ops_per_sec", r.Volatile.OpsPerSec}}
+		for _, a := range r.Arms {
+			ms = append(ms, metric{"wal." + a.Policy + ".ops_per_sec", a.OpsPerSec})
+		}
+		return ms, nil
+	}
+	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json or BENCH_wal.json fields)", path)
+}
+
+// diff compares current against baseline metrics by name and returns
+// the number of regressions past the threshold. A metric present in
+// the baseline but missing from the current report counts as a
+// regression for the same reason unknown shapes are errors.
+func diff(baseline, current []metric, threshold float64) int {
+	cur := make(map[string]float64, len(current))
+	for _, m := range current {
+		cur[m.name] = m.value
+	}
+	regressions := 0
+	for _, b := range baseline {
+		c, ok := cur[b.name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from current report (baseline %.0f)\n", b.name, b.value)
+			regressions++
+			continue
+		}
+		delta := 0.0
+		if b.value > 0 {
+			delta = (c - b.value) / b.value
+		}
+		status := "ok  "
+		if b.value > 0 && c < b.value*(1-threshold) {
+			status = "FAIL"
+			regressions++
+		}
+		fmt.Printf("%s %-28s baseline %12.0f  current %12.0f  %+6.1f%%\n",
+			status, b.name, b.value, c, 100*delta)
+	}
+	return regressions
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated fractional throughput drop vs baseline")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] baseline.json current.json [...]")
+		os.Exit(2)
+	}
+	fail := 0
+	for i := 0; i < len(args); i += 2 {
+		base, err := extract(args[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		cur, err := extract(args[i+1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s vs %s (threshold %.0f%%)\n", args[i+1], args[i], 100**threshold)
+		fail += diff(base, cur, *threshold)
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", fail, 100**threshold)
+		os.Exit(1)
+	}
+}

@@ -185,6 +185,53 @@ func (c *Chaos) Partitioned(a, b int) bool {
 	return c.cut[pairKey(a, b)]
 }
 
+// Grow extends the fault tables by k fault-free slots (dynamic
+// membership: joiners start with no injected faults). Without this,
+// calls to slots beyond the tables bypass injection entirely.
+func (c *Chaos) Grow(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < k; i++ {
+		c.faults = append(c.faults, Faults{})
+		c.slowLeft = append(c.slowLeft, 0)
+		c.slowExtra = append(c.slowExtra, 0)
+	}
+}
+
+// Compact removes one server's fault state, shifting higher ids down
+// by one to match the inner transport's slot compaction after a drain.
+// Partitions involving the removed server are discarded; surviving
+// pairs are renumbered.
+func (c *Chaos) Compact(server int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if server < 0 || server >= len(c.faults) {
+		return
+	}
+	c.faults = append(c.faults[:server], c.faults[server+1:]...)
+	c.slowLeft = append(c.slowLeft[:server], c.slowLeft[server+1:]...)
+	c.slowExtra = append(c.slowExtra[:server], c.slowExtra[server+1:]...)
+	cut := make(map[[2]int]bool, len(c.cut))
+	shift := func(id int) (int, bool) {
+		switch {
+		case id == server:
+			return 0, false
+		case id > server:
+			return id - 1, true
+		default:
+			return id, true // ClientOrigin stays ClientOrigin
+		}
+	}
+	for pair := range c.cut {
+		a, okA := shift(pair[0])
+		b, okB := shift(pair[1])
+		if okA && okB {
+			cut[pairKey(a, b)] = true
+		}
+	}
+	c.cut = cut
+}
+
 func pairKey(a, b int) [2]int {
 	if a > b {
 		a, b = b, a

@@ -270,14 +270,56 @@ func NewClient(addrs []string, opts ...ClientOption) *Client {
 }
 
 // NumServers returns the number of configured addresses.
-func (c *Client) NumServers() int { return len(c.addrs) }
+func (c *Client) NumServers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.addrs)
+}
+
+// Addrs returns a copy of the configured address list.
+func (c *Client) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// AddServer appends a server address and returns its id (dynamic
+// membership: the daemon re-points its peer client when a
+// MembershipUpdate commits).
+func (c *Client) AddServer(addr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs = append(c.addrs, addr)
+	c.idle = append(c.idle, nil)
+	return len(c.addrs) - 1
+}
+
+// RemoveServer deletes one server's address and pooled connections,
+// shifting higher ids down by one.
+func (c *Client) RemoveServer(server int) {
+	c.mu.Lock()
+	if server < 0 || server >= len(c.addrs) {
+		c.mu.Unlock()
+		return
+	}
+	conns := c.idle[server]
+	c.addrs = append(c.addrs[:server], c.addrs[server+1:]...)
+	c.idle = append(c.idle[:server], c.idle[server+1:]...)
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
 
 // Call sends msg to server i and waits for the reply. Connection
 // failures are reported as ErrServerDown so strategy drivers fail over
 // exactly as they do under the in-process transport.
 func (c *Client) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
-	if server < 0 || server >= len(c.addrs) {
-		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, len(c.addrs))
+	c.mu.Lock()
+	n := len(c.addrs)
+	c.mu.Unlock()
+	if server < 0 || server >= n {
+		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, n)
 	}
 	conn, err := c.checkout(ctx, server)
 	if err != nil {
@@ -307,6 +349,11 @@ func (c *Client) Call(ctx context.Context, server int, msg wire.Message) (wire.M
 // checkout returns an idle connection to the server or dials a new one.
 func (c *Client) checkout(ctx context.Context, server int) (net.Conn, error) {
 	c.mu.Lock()
+	if server < 0 || server >= len(c.addrs) {
+		// The member list shrank between the Call bounds check and here.
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: server %d no longer a member", server)
+	}
 	if n := len(c.idle[server]); n > 0 {
 		conn := c.idle[server][n-1]
 		c.idle[server] = c.idle[server][:n-1]
@@ -314,11 +361,12 @@ func (c *Client) checkout(ctx context.Context, server int) (net.Conn, error) {
 		c.metrics.RecordReuse(server)
 		return conn, nil
 	}
+	addr := c.addrs[server]
 	c.mu.Unlock()
 	var d net.Dialer
 	dialCtx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
-	conn, err := d.DialContext(dialCtx, "tcp", c.addrs[server])
+	conn, err := d.DialContext(dialCtx, "tcp", addr)
 	c.metrics.RecordDial(server, err != nil)
 	return conn, err
 }
@@ -326,7 +374,7 @@ func (c *Client) checkout(ctx context.Context, server int) (net.Conn, error) {
 // checkin returns a healthy connection to the pool.
 func (c *Client) checkin(server int, conn net.Conn) {
 	c.mu.Lock()
-	if !c.closed && len(c.idle[server]) < maxIdlePerServer {
+	if !c.closed && server >= 0 && server < len(c.idle) && len(c.idle[server]) < maxIdlePerServer {
 		c.idle[server] = append(c.idle[server], conn)
 		c.mu.Unlock()
 		return

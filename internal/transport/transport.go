@@ -44,19 +44,21 @@ type Handler interface {
 	Handle(ctx context.Context, msg wire.Message) wire.Message
 }
 
-// Inproc is an in-process transport over a fixed set of handlers.
-// It is safe for concurrent use, although the simulations are
-// single-goroutine; handlers may issue nested Calls (broadcasts,
-// migrations) from within Handle.
+// Inproc is an in-process transport over a dynamic set of handlers
+// (fixed-size clusters never resize it; dynamic membership grows and
+// compacts it via Add/Remove). It is safe for concurrent use, although
+// the simulations are single-goroutine; handlers may issue nested
+// Calls (broadcasts, migrations) from within Handle.
 type Inproc struct {
+	// mu guards the three slice headers; the per-slot state is held by
+	// pointer so counters survive slice reallocation on Add/Remove.
+	mu       sync.RWMutex
 	handlers []Handler
-	down     []atomic.Bool
+	down     []*atomic.Bool
 	// processed[i] counts messages processed by server i. Calls to a
 	// down server are rejected without counting (the server never
 	// processed them).
-	processed []atomic.Int64
-
-	mu sync.RWMutex // guards handler slice replacement only
+	processed []*atomic.Int64
 }
 
 var _ Caller = (*Inproc)(nil)
@@ -67,11 +69,16 @@ func NewInproc(n int) *Inproc {
 	if n <= 0 {
 		panic("transport: NewInproc requires n > 0")
 	}
-	return &Inproc{
+	t := &Inproc{
 		handlers:  make([]Handler, n),
-		down:      make([]atomic.Bool, n),
-		processed: make([]atomic.Int64, n),
+		down:      make([]*atomic.Bool, n),
+		processed: make([]*atomic.Int64, n),
 	}
+	for i := 0; i < n; i++ {
+		t.down[i] = new(atomic.Bool)
+		t.processed[i] = new(atomic.Int64)
+	}
+	return t
 }
 
 // Bind attaches the handler for one server id.
@@ -81,8 +88,37 @@ func (t *Inproc) Bind(server int, h Handler) {
 	t.handlers[server] = h
 }
 
+// Add appends a new server slot with no handler bound and returns its
+// id (dynamic membership: a joiner gets the next slot).
+func (t *Inproc) Add(h Handler) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers = append(t.handlers, h)
+	t.down = append(t.down, new(atomic.Bool))
+	t.processed = append(t.processed, new(atomic.Int64))
+	return len(t.handlers) - 1
+}
+
+// Remove deletes one server slot, shifting higher ids down by one
+// (dynamic membership: a drained member's slot is compacted away; the
+// caller renumbers the surviving nodes to match).
+func (t *Inproc) Remove(server int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if server < 0 || server >= len(t.handlers) {
+		return
+	}
+	t.handlers = append(t.handlers[:server], t.handlers[server+1:]...)
+	t.down = append(t.down[:server], t.down[server+1:]...)
+	t.processed = append(t.processed[:server], t.processed[server+1:]...)
+}
+
 // NumServers returns the cluster size.
-func (t *Inproc) NumServers() int { return len(t.handlers) }
+func (t *Inproc) NumServers() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.handlers)
+}
 
 // Call dispatches msg to the server's handler, counting it as one
 // processed message. A down server returns ErrServerDown. An expired
@@ -92,30 +128,46 @@ func (t *Inproc) Call(ctx context.Context, server int, msg wire.Message) (wire.M
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t.mu.RLock()
 	if server < 0 || server >= len(t.handlers) {
-		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, len(t.handlers))
+		n := len(t.handlers)
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, n)
 	}
-	if t.down[server].Load() {
+	h := t.handlers[server]
+	down := t.down[server]
+	processed := t.processed[server]
+	t.mu.RUnlock()
+	if down.Load() {
 		return nil, fmt.Errorf("%w: server %d", ErrServerDown, server)
 	}
-	t.mu.RLock()
-	h := t.handlers[server]
-	t.mu.RUnlock()
 	if h == nil {
 		return nil, fmt.Errorf("transport: server %d has no handler bound", server)
 	}
-	t.processed[server].Add(1)
+	processed.Add(1)
 	return h.Handle(ctx, msg), nil
 }
 
 // SetDown marks a server as failed or recovered.
-func (t *Inproc) SetDown(server int, down bool) { t.down[server].Store(down) }
+func (t *Inproc) SetDown(server int, down bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if server >= 0 && server < len(t.down) {
+		t.down[server].Store(down)
+	}
+}
 
 // Down reports whether a server is failed.
-func (t *Inproc) Down(server int) bool { return t.down[server].Load() }
+func (t *Inproc) Down(server int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return server >= 0 && server < len(t.down) && t.down[server].Load()
+}
 
 // DownCount returns the number of failed servers.
 func (t *Inproc) DownCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	c := 0
 	for i := range t.down {
 		if t.down[i].Load() {
@@ -126,11 +178,20 @@ func (t *Inproc) DownCount() int {
 }
 
 // Processed returns the number of messages processed by one server.
-func (t *Inproc) Processed(server int) int64 { return t.processed[server].Load() }
+func (t *Inproc) Processed(server int) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if server < 0 || server >= len(t.processed) {
+		return 0
+	}
+	return t.processed[server].Load()
+}
 
 // TotalProcessed returns the number of messages processed by all
 // servers: the paper's update-overhead metric.
 func (t *Inproc) TotalProcessed() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var total int64
 	for i := range t.processed {
 		total += t.processed[i].Load()
@@ -140,6 +201,8 @@ func (t *Inproc) TotalProcessed() int64 {
 
 // ResetCounters zeroes all message counters.
 func (t *Inproc) ResetCounters() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for i := range t.processed {
 		t.processed[i].Store(0)
 	}

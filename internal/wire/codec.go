@@ -180,6 +180,29 @@ func Encode(msg Message) []byte {
 	case RepairPushReply:
 		e.uvarint(uint64(m.Accepted))
 		e.str(m.Err)
+	case Join:
+		e.str(m.Addr)
+	case Leave:
+		e.uvarint(uint64(m.Server))
+	case MembershipUpdate:
+		e.uvarint(m.Epoch)
+		e.uvarint(uint64(m.OldN))
+		e.uvarint(uint64(m.NewN))
+		e.ints(m.Joined)
+		// Leaving is -1 when the change is a pure join; shift by one so
+		// the wire value stays a uvarint.
+		e.uvarint(uint64(m.Leaving + 1))
+		e.strs(m.Addrs)
+	case RebalancePush:
+		e.str(m.Key)
+		e.config(m.Config)
+		e.strs(m.Entries)
+		e.uints(m.Positions)
+		e.bool(m.HasPos)
+		e.uvarint(uint64(m.HCount))
+		e.uvarint(m.Epoch)
+		e.uvarint(uint64(m.NewN))
+		e.uvarint(uint64(m.Leaving + 1))
 	default:
 		panic(fmt.Sprintf("wire: Encode called with unregistered message type %T", msg))
 	}
@@ -567,6 +590,63 @@ func Decode(data []byte) (Message, error) {
 			m.Err, err = d.str()
 		}
 		msg = m
+	case KindJoin:
+		var m Join
+		m.Addr, err = d.str()
+		msg = m
+	case KindLeave:
+		var m Leave
+		m.Server, err = d.intval()
+		msg = m
+	case KindMembershipUpdate:
+		var m MembershipUpdate
+		m.Epoch, err = d.uvarint()
+		if err == nil {
+			m.OldN, err = d.intval()
+		}
+		if err == nil {
+			m.NewN, err = d.intval()
+		}
+		if err == nil {
+			m.Joined, err = d.ints()
+		}
+		if err == nil {
+			m.Leaving, err = d.intval()
+			m.Leaving--
+		}
+		if err == nil {
+			m.Addrs, err = d.strs()
+		}
+		msg = m
+	case KindRebalancePush:
+		var m RebalancePush
+		m.Key, err = d.str()
+		if err == nil {
+			m.Config, err = d.config()
+		}
+		if err == nil {
+			m.Entries, err = d.strs()
+		}
+		if err == nil {
+			m.Positions, err = d.uints()
+		}
+		if err == nil {
+			m.HasPos, err = d.boolval()
+		}
+		if err == nil {
+			m.HCount, err = d.intval()
+		}
+		if err == nil {
+			m.Epoch, err = d.uvarint()
+		}
+		if err == nil {
+			m.NewN, err = d.intval()
+		}
+		if err == nil {
+			m.Leaving, err = d.intval()
+			m.Leaving--
+		}
+		msg = m
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknown, kind)
 	}
@@ -620,6 +700,13 @@ func (e *encoder) uints(vs []uint64) {
 	e.uvarint(uint64(len(vs)))
 	for _, v := range vs {
 		e.uvarint(v)
+	}
+}
+
+func (e *encoder) ints(vs []int) {
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.uvarint(uint64(v))
 	}
 }
 
@@ -744,6 +831,28 @@ func (d *decoder) uints() ([]uint64, error) {
 	out := make([]uint64, 0, min(int(n), 1024))
 	for i := uint64(0); i < n; i++ {
 		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (d *decoder) ints() ([]int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, ErrOversized
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		v, err := d.intval()
 		if err != nil {
 			return nil, err
 		}

@@ -57,6 +57,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		{Scheme: RandomServer, X: 20, RSReplace: true},
 		{Scheme: RoundRobin, Y: 3, Coordinators: 2},
 		{Scheme: Hash, Y: 2, Seed: 1 << 60},
+		{Scheme: MultiProbe, Y: 3, Seed: 0xfeed},
 	} {
 		writeSeed(configDir, fmt.Sprintf("seed-%02d-%s", i, cfg.Scheme),
 			fmt.Sprintf("byte(%s)", strconv.QuoteRune(rune(cfg.Scheme))),

@@ -31,6 +31,14 @@ const (
 	// paper's conclusion contrasts partial lookups against exactly
 	// this design's hot-spot and fault-tolerance weaknesses.
 	KeyPartition
+	// MultiProbe is multi-probe consistent hashing (arXiv:1505.00062),
+	// added for elastic clusters: entry v lives on y servers chosen by
+	// probing a hash ring whose per-server points do not depend on n,
+	// so membership changes move only ~1/(n+1) of the entries —
+	// against Hash-y's mod-n assignment, which remaps nearly all of
+	// them. Like Hash-y it keeps no per-key coordinator state and uses
+	// Y and Seed.
+	MultiProbe
 )
 
 // String returns the paper's name for the scheme.
@@ -48,13 +56,15 @@ func (s Scheme) String() string {
 		return "Hash-y"
 	case KeyPartition:
 		return "KeyPartition"
+	case MultiProbe:
+		return "MultiProbe-y"
 	default:
 		return fmt.Sprintf("Scheme(%d)", uint8(s))
 	}
 }
 
-// Valid reports whether s is one of the five defined schemes.
-func (s Scheme) Valid() bool { return s >= FullReplication && s <= KeyPartition }
+// Valid reports whether s is one of the defined schemes.
+func (s Scheme) Valid() bool { return s >= FullReplication && s <= MultiProbe }
 
 // Config selects a strategy and its parameter for one key. Exactly one
 // of X or Y is meaningful depending on the scheme:
@@ -100,7 +110,7 @@ func (c Config) Validate(n int) error {
 		if c.X <= 0 {
 			return fmt.Errorf("wire: %v requires x > 0, got %d", c.Scheme, c.X)
 		}
-	case RoundRobin, Hash:
+	case RoundRobin, Hash, MultiProbe:
 		if c.Y <= 0 {
 			return fmt.Errorf("wire: %v requires y > 0, got %d", c.Scheme, c.Y)
 		}
@@ -120,7 +130,7 @@ func (c Config) Param() int {
 	switch c.Scheme {
 	case Fixed, RandomServer:
 		return c.X
-	case RoundRobin, Hash:
+	case RoundRobin, Hash, MultiProbe:
 		return c.Y
 	default:
 		return 0
@@ -146,6 +156,8 @@ func (c Config) String() string {
 		return fmt.Sprintf("Hash-%d", c.Y)
 	case KeyPartition:
 		return "KeyPartition"
+	case MultiProbe:
+		return fmt.Sprintf("MultiProbe-%d", c.Y)
 	default:
 		return fmt.Sprintf("Config(%d)", uint8(c.Scheme))
 	}
@@ -191,6 +203,10 @@ const (
 	KindRepairQueryReply
 	KindRepairPush
 	KindRepairPushReply
+	KindJoin
+	KindLeave
+	KindMembershipUpdate
+	KindRebalancePush
 )
 
 // Message is implemented by every protocol message.
@@ -526,6 +542,67 @@ type RepairPushReply struct {
 	Err      string
 }
 
+// Membership messages. A cluster's member list is versioned by a
+// monotone epoch; every change (one join or one graceful leave) bumps
+// it exactly once and is announced to every member as a
+// MembershipUpdate, whose receipt triggers that member's synchronous
+// rebalance sweep (see internal/node membership.go and DESIGN.md §11).
+
+// Join announces a new server to any existing member, which acts as
+// the membership coordinator for this change: it assigns the next
+// slot, installs the new member list, and broadcasts the matching
+// MembershipUpdate. The reply is that MembershipUpdate (carrying the
+// joiner's slot as the sole Joined element and the full address list)
+// or an Ack with Err.
+type Join struct {
+	Addr string
+}
+
+// Leave asks for a graceful drain of one member: every node rebalances
+// the leaver's entries onto the surviving members before the slot is
+// retired (contrast with kill/replace churn, where the entries are
+// lost and anti-entropy repair re-replicates from surviving copies).
+// The reply is an Ack once the handoff completed.
+type Leave struct {
+	Server int
+}
+
+// MembershipUpdate is the coordinator's broadcast announcing one
+// member-list change. Epoch is the post-change version; receivers
+// treat an epoch at or below their own as already applied (double
+// joins and replayed broadcasts are no-ops). Joined lists slots added
+// at this epoch; Leaving is the slot draining out, -1 if none. Addrs
+// is the post-change member address list for TCP deployments (empty
+// under the in-process transport). Handling the update runs the
+// receiver's rebalance sweep; the Ack reply means the sweep finished.
+type MembershipUpdate struct {
+	Epoch   uint64
+	OldN    int
+	NewN    int
+	Joined  []int
+	Leaving int
+	Addrs   []string
+}
+
+// RebalancePush transfers entries whose placement changed with the
+// member list, phase two of a rebalance sweep (phase one reuses
+// RepairQuery so converged keys cost one message). It carries the same
+// payload as RepairPush plus the membership transition itself — NewN
+// and Leaving — so the receiver can validate homes and windows under
+// the post-change cluster size and derive its own post-change rank
+// without global state. The reply is a RepairPushReply.
+type RebalancePush struct {
+	Key       string
+	Config    Config
+	Entries   []string
+	Positions []uint64
+	HasPos    bool
+	HCount    int
+	Epoch     uint64
+	NewN      int
+	Leaving   int
+}
+
 // Kind implementations.
 
 func (Place) Kind() Kind            { return KindPlace }
@@ -563,3 +640,7 @@ func (RepairQuery) Kind() Kind      { return KindRepairQuery }
 func (RepairQueryReply) Kind() Kind { return KindRepairQueryReply }
 func (RepairPush) Kind() Kind       { return KindRepairPush }
 func (RepairPushReply) Kind() Kind  { return KindRepairPushReply }
+func (Join) Kind() Kind             { return KindJoin }
+func (Leave) Kind() Kind            { return KindLeave }
+func (MembershipUpdate) Kind() Kind { return KindMembershipUpdate }
+func (RebalancePush) Kind() Kind    { return KindRebalancePush }

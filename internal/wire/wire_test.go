@@ -26,12 +26,12 @@ func TestSchemeString(t *testing.T) {
 }
 
 func TestSchemeValid(t *testing.T) {
-	for s := FullReplication; s <= KeyPartition; s++ {
+	for s := FullReplication; s <= MultiProbe; s++ {
 		if !s.Valid() {
 			t.Errorf("scheme %v invalid", s)
 		}
 	}
-	if Scheme(0).Valid() || Scheme(7).Valid() {
+	if Scheme(0).Valid() || Scheme(8).Valid() {
 		t.Error("out-of-range scheme reported valid")
 	}
 }
