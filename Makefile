@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench core-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -59,6 +59,12 @@ repair-bench:
 # (BENCH_membership.json).
 membership-bench:
 	$(GO) run ./cmd/plsbench -membership-bench BENCH_membership.json
+
+# Hot-path sweep: full-stack lookup throughput across GOMAXPROCS with
+# per-layer toggles — mux vs serialized transport, epoch vs rlock
+# store reads, codec allocations per op (BENCH_core.json).
+core-bench:
+	$(GO) run ./cmd/plsbench -core-bench BENCH_core.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

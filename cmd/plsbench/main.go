@@ -10,6 +10,7 @@
 //	plsbench -wal-bench BENCH_wal.json [-wal-bench-window 2s]
 //	plsbench -repair-bench BENCH_repair.json [-repair-bench-rounds 8]
 //	plsbench -membership-bench BENCH_membership.json [-membership-bench-rounds 6]
+//	plsbench -core-bench BENCH_core.json [-core-bench-window 2s]
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
@@ -71,6 +72,8 @@ func run() error {
 		repRnds  = flag.Int("repair-bench-rounds", 8, "kill/replace rounds per repair-bench arm")
 		memOut   = flag.String("membership-bench", "", "run the join/drain churn benchmark instead of experiments and write BENCH_membership.json-style output to this file")
 		memRnds  = flag.Int("membership-bench-rounds", 6, "join+drain rounds per membership-bench scheme")
+		coreOut  = flag.String("core-bench", "", "run the hot-path GOMAXPROCS sweep with per-layer toggles instead of experiments and write BENCH_core.json-style output to this file")
+		coreWin  = flag.Duration("core-bench-window", 2*time.Second, "measurement window per core-bench arm")
 	)
 	flag.Parse()
 
@@ -88,6 +91,9 @@ func run() error {
 	}
 	if *memOut != "" {
 		return runMembershipBench(*memOut, *memRnds)
+	}
+	if *coreOut != "" {
+		return runCoreBench(*coreOut, *coreWin)
 	}
 
 	var fid bench.Fidelity

@@ -63,12 +63,13 @@ func main() {
 
 func run() error {
 	var (
-		servers = flag.String("servers", "127.0.0.1:7001", "comma-separated server addresses")
-		scheme  = flag.String("scheme", "round", "placement scheme: full, fixed, randomserver, round, hash, multiprobe, partition")
-		x       = flag.Int("x", 0, "x parameter (fixed, randomserver)")
-		y       = flag.Int("y", 1, "y parameter (round, hash)")
-		seed    = flag.Uint64("hash-seed", 0, "hash family seed (hash scheme)")
-		timeout = flag.Duration("timeout", 5*time.Second, "RPC timeout")
+		servers  = flag.String("servers", "127.0.0.1:7001", "comma-separated server addresses")
+		scheme   = flag.String("scheme", "round", "placement scheme: full, fixed, randomserver, round, hash, multiprobe, partition")
+		x        = flag.Int("x", 0, "x parameter (fixed, randomserver)")
+		y        = flag.Int("y", 1, "y parameter (round, hash)")
+		seed     = flag.Uint64("hash-seed", 0, "hash family seed (hash scheme)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "RPC timeout")
+		muxConns = flag.Int("mux-conns", transport.DefaultMuxConns, "multiplexed TCP connections per server; requests are pipelined over them")
 
 		// Lookup resilience policy (see core.LookupPolicy).
 		lookupTimeout = flag.Duration("lookup-timeout", 0, "end-to-end deadline for one lookup (0 = none)")
@@ -151,6 +152,7 @@ func run() error {
 	lm := telemetry.NewLookupMetrics(reg)
 	client := transport.NewClient(addrs,
 		transport.WithTimeout(*timeout),
+		transport.WithMuxConns(*muxConns),
 		transport.WithClientMetrics(tm))
 	defer client.Close()
 	var caller transport.Caller = client

@@ -41,14 +41,15 @@ func main() {
 
 func run() error {
 	var (
-		id      = flag.Int("id", 0, "this server's index into the peer list")
-		peers   = flag.String("peers", "127.0.0.1:7001", "comma-separated ordered list of all server addresses (including this one)")
-		listen  = flag.String("listen", "", "listen address (default: the peer entry for -id)")
-		admin   = flag.String("admin", "", "admin/debug HTTP listen address serving /metrics, /healthz, and /debug/pprof/ (empty = disabled)")
-		seed    = flag.Uint64("seed", 0, "RNG seed for answer sampling (0 = derived from time)")
-		timeout = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
-		retries = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
-		selObs  = flag.Bool("peer-selector", true, "score peer health (EWMA latency, failure streaks) and expose it via the admin endpoint")
+		id       = flag.Int("id", 0, "this server's index into the peer list")
+		peers    = flag.String("peers", "127.0.0.1:7001", "comma-separated ordered list of all server addresses (including this one)")
+		listen   = flag.String("listen", "", "listen address (default: the peer entry for -id)")
+		admin    = flag.String("admin", "", "admin/debug HTTP listen address serving /metrics, /healthz, and /debug/pprof/ (empty = disabled)")
+		seed     = flag.Uint64("seed", 0, "RNG seed for answer sampling (0 = derived from time)")
+		timeout  = flag.Duration("peer-timeout", 5*time.Second, "peer RPC timeout")
+		retries  = flag.Int("peer-retries", 1, "attempts per peer RPC before reporting the peer down")
+		muxConns = flag.Int("mux-conns", transport.DefaultMuxConns, "multiplexed TCP connections per peer; requests are pipelined over them")
+		selObs   = flag.Bool("peer-selector", true, "score peer health (EWMA latency, failure streaks) and expose it via the admin endpoint")
 
 		// Dynamic membership. A daemon started with -join asks the given
 		// member to admit it once it is listening (its own entry must
@@ -133,6 +134,7 @@ func run() error {
 
 	peerClient := transport.NewClient(addrs,
 		transport.WithTimeout(*timeout),
+		transport.WithMuxConns(*muxConns),
 		transport.WithClientMetrics(tm))
 	defer peerClient.Close()
 	var peerCaller transport.Caller = peerClient

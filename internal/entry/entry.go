@@ -162,6 +162,49 @@ func (s *Set) Sample(r Sampler, t int) []Entry {
 	return out
 }
 
+// SampleScratch holds the reusable buffers SampleInto samples through.
+// A zero value is ready; buffers grow to the largest set sampled and
+// are reused across calls. Not safe for concurrent use — pool one per
+// in-flight lookup.
+type SampleScratch struct {
+	idx []int
+	out []Entry
+}
+
+// SampleInto is Sample using sc's buffers instead of fresh allocations.
+// It draws from r in exactly the same order as Sample for the same set
+// and t, so the two are interchangeable under a seeded RNG. The
+// returned slice aliases sc and is valid only until the next SampleInto
+// with the same scratch; callers copy what they keep.
+func (s *Set) SampleInto(r Sampler, t int, sc *SampleScratch) []Entry {
+	if t <= 0 || s.Len() == 0 {
+		return nil
+	}
+	n := s.Len()
+	if cap(sc.out) < n {
+		sc.out = make([]Entry, n)
+	}
+	if t >= n {
+		sc.out = sc.out[:n]
+		copy(sc.out, s.members)
+		return sc.out
+	}
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	sc.idx = sc.idx[:n]
+	for i := range sc.idx {
+		sc.idx[i] = i
+	}
+	sc.out = sc.out[:t]
+	for i := 0; i < t; i++ {
+		j := i + r.IntN(n-i)
+		sc.idx[i], sc.idx[j] = sc.idx[j], sc.idx[i]
+		sc.out[i] = s.members[sc.idx[i]]
+	}
+	return sc.out
+}
+
 // Members returns a copy of the member slice in internal order.
 func (s *Set) Members() []Entry {
 	out := make([]Entry, len(s.members))

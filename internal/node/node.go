@@ -223,6 +223,14 @@ func (n *Node) handleDelete(ctx context.Context, m wire.Delete) wire.Message {
 	return n.flushReply(ks, reply)
 }
 
+// sampleScratchPool recycles the index/output buffers a lookup samples
+// through. Pooled rather than per-node because the multiplexed
+// transport dispatches lookups concurrently; each in-flight lookup
+// borrows its own scratch.
+var sampleScratchPool = sync.Pool{
+	New: func() any { return new(entry.SampleScratch) },
+}
+
 // handleLookup answers one partial-lookup probe: up to T entries sampled
 // uniformly from the local set ("t randomly selected entries stored on
 // the server or all the entries if the total is less than t"). The
@@ -233,11 +241,17 @@ func (n *Node) handleLookup(m wire.Lookup) wire.Message {
 	if !ok {
 		return wire.LookupReply{}
 	}
-	sample := ks.Snapshot().Sample(&n.rng, m.T)
+	// SampleInto draws from the node RNG in exactly the order Sample
+	// did, so seeded goldens are unchanged; the scratch buffers just
+	// stop each lookup from allocating an index permutation. The reply
+	// slice is still fresh — it outlives the scratch's reuse.
+	sc := sampleScratchPool.Get().(*entry.SampleScratch)
+	sample := ks.Snapshot().SampleInto(&n.rng, m.T, sc)
 	out := make([]string, len(sample))
 	for i, v := range sample {
 		out[i] = string(v)
 	}
+	sampleScratchPool.Put(sc)
 	return wire.LookupReply{Entries: out}
 }
 

@@ -4,18 +4,25 @@
 //
 // The paper's server is a per-key state machine (Secs. 5.2–5.5): no
 // operation ever touches two keys' state. The store exploits exactly
-// that independence. Keys are hashed over a fixed array of shards, each
-// guarded by its own RWMutex, so traffic on different keys contends only
-// when the keys collide on a shard. Within a key, mutations run under
-// the KeyState lock, while partial_lookup reads sample an immutable
-// snapshot published with one atomic load — a read never blocks a
-// writer, and writers on other keys never block a read.
+// that independence, and its read path is epoch-based — a lookup takes
+// no lock at all:
 //
-// The snapshot is maintained copy-on-write, invalidate-on-write: a
-// mutation clears the published snapshot (one atomic store), and the
-// next reader rebuilds it from the live set. Lookup-heavy workloads —
-// the paper's whole premise — therefore pay the clone once per write,
-// not once per read, and an idle key costs nothing.
+//   - Keys hash over a fixed array of shards. Each shard's key→state
+//     map is immutable once published, held behind an atomic.Pointer;
+//     key creation (rare: once per key's lifetime) clones the shard map
+//     under the shard writer lock and publishes the successor. Get is
+//     therefore one atomic load plus a map lookup, never a lock.
+//   - Within a key, mutations run under the KeyState mutex, while
+//     partial_lookup reads sample an immutable entry-set snapshot
+//     published with one atomic load. Snapshots are published eagerly
+//     but on demand: a key nobody reads invalidates cheaply on write
+//     (one nil store — write-heavy WAL workloads pay nothing), and
+//     after the first read the writers republish a fresh clone on every
+//     mutation, so steady-state reads never take the key lock either.
+//
+// Lookup-heavy workloads — the paper's whole premise — therefore pay
+// the clone once per write, not once per read, and an idle key costs
+// nothing.
 //
 // The store is strategy-agnostic: scheme-specific state (RandomServer
 // counters, Round-Robin positions and migrations) lives behind the
@@ -85,9 +92,14 @@ type KeyState struct {
 	mu sync.Mutex
 	st State
 	// snap is the published read-only snapshot of st.Set, nil when a
-	// mutation has invalidated it. Readers treat a loaded snapshot as
-	// immutable; writers only ever clear it.
+	// mutation has invalidated it and no reader has demanded one since.
+	// Readers treat a loaded snapshot as immutable.
 	snap atomic.Pointer[entry.Set]
+	// snapDemand latches once the first reader asks for this key's
+	// snapshot. From then on Update republishes a fresh snapshot instead
+	// of invalidating, keeping the read path lock-free in steady state;
+	// keys that are only ever written never pay the per-update clone.
+	snapDemand atomic.Bool
 
 	// Durability plumbing, nil/zero on volatile stores. stripe is the
 	// shard index, which doubles as the WAL stripe so per-key record
@@ -99,11 +111,14 @@ type KeyState struct {
 	lastLSN uint64
 }
 
-// Update runs f with the key locked and invalidates the read snapshot
-// afterwards. All mutations — entry-set changes, config adoption,
-// extension-state updates — go through here. Records the callback
-// queued via State.Log are appended to the WAL before the key unlocks,
-// so the log's per-stripe order matches application order exactly.
+// Update runs f with the key locked and publishes the next read
+// snapshot afterwards — a fresh clone when readers have demanded
+// snapshots before (so lookups stay lock-free across writes), a cheap
+// invalidation otherwise. All mutations — entry-set changes, config
+// adoption, extension-state updates — go through here. Records the
+// callback queued via State.Log are appended to the WAL before the key
+// unlocks, so the log's per-stripe order matches application order
+// exactly.
 func (k *KeyState) Update(f func(*State)) {
 	k.mu.Lock()
 	f(&k.st)
@@ -117,7 +132,11 @@ func (k *KeyState) Update(f func(*State)) {
 		}
 		k.st.recs = k.st.recs[:0]
 	}
-	k.snap.Store(nil)
+	if k.snapDemand.Load() {
+		k.snap.Store(k.st.Set.Clone())
+	} else {
+		k.snap.Store(nil)
+	}
 	k.mu.Unlock()
 }
 
@@ -174,15 +193,18 @@ func (k *KeyState) WaitDurable() error {
 }
 
 // Snapshot returns an immutable view of the key's entry set, building
-// and publishing it if a mutation invalidated the previous one. The
-// fast path is a single atomic load; callers must not mutate the
-// returned set.
+// and publishing it if none is current. The steady-state path is a
+// single atomic load — the first read latches snapDemand, after which
+// every Update republishes eagerly and readers never reach the key
+// lock. Callers must not mutate the returned set.
 func (k *KeyState) Snapshot() *entry.Set {
 	if s := k.snap.Load(); s != nil {
 		return s
 	}
+	k.snapDemand.Store(true)
 	k.mu.Lock()
-	// Re-check under the lock: another reader may have republished.
+	// Re-check under the lock: another reader or a concurrent Update may
+	// have republished.
 	s := k.snap.Load()
 	if s == nil {
 		s = k.st.Set.Clone()
@@ -208,9 +230,33 @@ func (k *KeyState) Len() int {
 	return n
 }
 
+// shard holds one stripe's key→state map. The map value behind keys is
+// immutable once published: lookups load it with one atomic operation
+// and index it without locking. Writers (key creation only — the paper
+// has no key deletion, so maps only grow) serialize on mu, clone the
+// current map, and publish the successor. Key creation is a once-per-
+// key-lifetime event, so the O(shard) clone amortizes to nothing
+// against the lock-free loads it buys every read.
 type shard struct {
-	mu   sync.RWMutex
-	keys map[string]*KeyState
+	mu   sync.Mutex // serializes writers; readers never take it
+	keys atomic.Pointer[map[string]*KeyState]
+}
+
+// load returns the shard's current key map for lock-free reading.
+func (sh *shard) load() map[string]*KeyState {
+	return *sh.keys.Load()
+}
+
+// publishWith clones the current map, applies add, and publishes the
+// successor. Callers hold sh.mu.
+func (sh *shard) publishWith(key string, ks *KeyState) {
+	cur := sh.load()
+	next := make(map[string]*KeyState, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = ks
+	sh.keys.Store(&next)
 }
 
 // Store is a sharded per-key state store. The zero value is not usable;
@@ -229,7 +275,8 @@ type Store struct {
 func New() *Store {
 	s := &Store{}
 	for i := range s.shards {
-		s.shards[i].keys = make(map[string]*KeyState)
+		empty := make(map[string]*KeyState)
+		s.shards[i].keys.Store(&empty)
 	}
 	return s
 }
@@ -256,11 +303,9 @@ func (s *Store) shardFor(key string) *shard {
 }
 
 // Get returns the state for key, or (nil, false) if the key is unknown.
+// It is lock-free: one atomic load of the shard's published map.
 func (s *Store) Get(key string) (*KeyState, bool) {
-	sh := s.shardFor(key)
-	sh.mu.RLock()
-	ks, ok := sh.keys[key]
-	sh.mu.RUnlock()
+	ks, ok := s.shardFor(key).load()[key]
 	return ks, ok
 }
 
@@ -273,19 +318,17 @@ func (s *Store) Get(key string) (*KeyState, bool) {
 func (s *Store) GetOrCreate(key string, cfg wire.Config) *KeyState {
 	idx := shardIndex(key)
 	sh := &s.shards[idx]
-	sh.mu.RLock()
-	ks, ok := sh.keys[key]
-	sh.mu.RUnlock()
+	ks, ok := sh.load()[key]
 	if !ok {
 		sh.mu.Lock()
-		ks, ok = sh.keys[key]
+		ks, ok = sh.load()[key]
 		if !ok {
 			ks = &KeyState{
 				st:     State{Key: key, Cfg: cfg, Set: entry.NewSet(0), logging: s.wal != nil},
 				wal:    s.wal,
 				stripe: idx,
 			}
-			sh.keys[key] = ks
+			sh.publishWith(key, ks)
 			s.keyCount.Add(1)
 		}
 		sh.mu.Unlock()
@@ -323,7 +366,7 @@ func (s *Store) AttachWAL(w *WAL) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for _, ks := range sh.keys {
+		for _, ks := range sh.load() {
 			ks.mu.Lock()
 			ks.wal = w
 			ks.stripe = i
@@ -345,11 +388,11 @@ func (s *Store) Install(key string, st State, lsn uint64) (*KeyState, error) {
 	st.logging = s.wal != nil
 	ks := &KeyState{st: st, wal: s.wal, stripe: idx, lastLSN: lsn}
 	sh.mu.Lock()
-	if _, dup := sh.keys[key]; dup {
+	if _, dup := sh.load()[key]; dup {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("store: install of existing key %q", key)
 	}
-	sh.keys[key] = ks
+	sh.publishWith(key, ks)
 	s.keyCount.Add(1)
 	sh.mu.Unlock()
 	return ks, nil
@@ -367,36 +410,21 @@ func (s *Store) Keys() int { return int(s.keyCount.Load()) }
 func (s *Store) EntryCount() int {
 	total := 0
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, ks := range sh.keys {
+		for _, ks := range s.shards[i].load() {
 			total += ks.Len()
 		}
-		sh.mu.RUnlock()
 	}
 	return total
 }
 
 // Range calls f for every key until f returns false. The iteration
-// order is unspecified; f runs without any shard lock held for the
-// KeyState itself, so it may call Update/View/Snapshot freely.
+// order is unspecified. Each shard's published map is immutable, so f
+// iterates it with no lock held and may call Update/View/Snapshot
+// freely; keys created while Range runs may or may not be visited.
 func (s *Store) Range(f func(key string, ks *KeyState) bool) {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		// Copy the slot pointers so f runs without the shard lock (f
-		// may take key locks, and holding both invites deadlock).
-		type slot struct {
-			key string
-			ks  *KeyState
-		}
-		slots := make([]slot, 0, len(sh.keys))
-		for k, ks := range sh.keys {
-			slots = append(slots, slot{k, ks})
-		}
-		sh.mu.RUnlock()
-		for _, sl := range slots {
-			if !f(sl.key, sl.ks) {
+		for k, ks := range s.shards[i].load() {
+			if !f(k, ks) {
 				return
 			}
 		}

@@ -201,3 +201,64 @@ func TestConcurrentSameKey(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestEpochReadsAfterDemand pins the demand-latched publication rule:
+// once any reader has taken a snapshot, every subsequent Update
+// publishes a fresh one eagerly, so steady-state readers stay on the
+// atomic-load fast path across writes.
+func TestEpochReadsAfterDemand(t *testing.T) {
+	s := store.New()
+	ks := s.GetOrCreate("k", wire.Config{Scheme: wire.FullReplication})
+	ks.Update(func(st *store.State) { st.Set.Add("a") })
+
+	// First read latches demand.
+	if got := ks.Snapshot().Len(); got != 1 {
+		t.Fatalf("first snapshot has %d entries, want 1", got)
+	}
+	// Every write now publishes the next epoch immediately: each read
+	// observes the write that preceded it, and consecutive reads with
+	// no intervening write return the identical epoch.
+	for i := 0; i < 5; i++ {
+		ks.Update(func(st *store.State) { st.Set.Add(entry.Entry(fmt.Sprintf("e%d", i))) })
+		snap := ks.Snapshot()
+		if snap.Len() != i+2 {
+			t.Fatalf("epoch %d has %d entries, want %d", i, snap.Len(), i+2)
+		}
+		if ks.Snapshot() != snap {
+			t.Fatalf("epoch %d not stable across reads", i)
+		}
+	}
+}
+
+// TestRangeDuringCreate pins that Range never blocks on (or crashes
+// under) concurrent key creation: the shard maps it iterates are
+// immutable published epochs.
+func TestRangeDuringCreate(t *testing.T) {
+	s := store.New()
+	for i := 0; i < 64; i++ {
+		s.GetOrCreate(fmt.Sprintf("seed-%d", i), wire.Config{Scheme: wire.FullReplication})
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.GetOrCreate(fmt.Sprintf("live-%d", i), wire.Config{Scheme: wire.FullReplication})
+			}
+		}
+	}()
+	for pass := 0; pass < 50; pass++ {
+		seen := 0
+		s.Range(func(string, *store.KeyState) bool { seen++; return true })
+		if seen < 64 {
+			t.Fatalf("Range pass %d saw %d keys, want >= 64", pass, seen)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -7,9 +7,9 @@ import (
 
 // TransportMetrics groups the per-server metrics recorded on the call
 // path: every call, its latency, and its outcome, plus the TCP client's
-// connection-pool behavior (dials vs. checkouts of pooled connections,
-// and dial failures). All methods are nil-receiver safe so call sites
-// need no branching.
+// connection behavior (fresh dials vs. reuse of live multiplexed
+// connections, and dial failures). All methods are nil-receiver safe so
+// call sites need no branching.
 type TransportMetrics struct {
 	// Calls counts attempts delivered to each server (retries and
 	// hedges each count: they cost the network and the server).
@@ -20,10 +20,16 @@ type TransportMetrics struct {
 	Errors *CounterVec
 	// Latency is the per-server call latency distribution.
 	Latency *HistogramVec
-	// Dials and Reuses split the TCP client's connection checkouts:
-	// fresh dials vs. pooled-connection reuse.
-	Dials  *CounterVec
-	Reuses *CounterVec
+	// Dials counts checkouts that had to dial a fresh connection.
+	// Reuses and MaintReuses count checkouts served by a live
+	// multiplexed connection, split by traffic class: lookup-path
+	// requests vs. background maintenance (anti-entropy repair and
+	// membership/rebalance pushes). The split shows whether maintenance
+	// traffic rides the warm request-path connections or keeps forcing
+	// its own dials.
+	Dials       *CounterVec
+	Reuses      *CounterVec
+	MaintReuses *CounterVec
 	// DialErrors counts dials that failed per server; each also counts
 	// in Errors so fault assertions need only one counter.
 	DialErrors *CounterVec
@@ -33,12 +39,13 @@ type TransportMetrics struct {
 // prefix (e.g. "transport" or "peer").
 func NewTransportMetrics(r *Registry, prefix string, n int) *TransportMetrics {
 	return &TransportMetrics{
-		Calls:      r.NewCounterVec(prefix+".calls", n),
-		Errors:     r.NewCounterVec(prefix+".errors", n),
-		Latency:    r.NewDurationHistogramVec(prefix+".latency", n, DefaultLatencyBuckets),
-		Dials:      r.NewCounterVec(prefix+".dials", n),
-		Reuses:     r.NewCounterVec(prefix+".pool_reuse", n),
-		DialErrors: r.NewCounterVec(prefix+".dial_errors", n),
+		Calls:       r.NewCounterVec(prefix+".calls", n),
+		Errors:      r.NewCounterVec(prefix+".errors", n),
+		Latency:     r.NewDurationHistogramVec(prefix+".latency", n, DefaultLatencyBuckets),
+		Dials:       r.NewCounterVec(prefix+".dials", n),
+		Reuses:      r.NewCounterVec(prefix+".conn_reuse.lookup", n),
+		MaintReuses: r.NewCounterVec(prefix+".conn_reuse.maintenance", n),
+		DialErrors:  r.NewCounterVec(prefix+".dial_errors", n),
 	}
 }
 
@@ -68,9 +75,15 @@ func (m *TransportMetrics) RecordDial(server int, failed bool) {
 	}
 }
 
-// RecordReuse records a connection checkout served from the idle pool.
-func (m *TransportMetrics) RecordReuse(server int) {
+// RecordReuse records a checkout served by a live multiplexed
+// connection; maintenance classifies the request as background repair
+// or membership traffic rather than lookup-path traffic.
+func (m *TransportMetrics) RecordReuse(server int, maintenance bool) {
 	if m == nil {
+		return
+	}
+	if maintenance {
+		m.MaintReuses.At(server).Inc()
 		return
 	}
 	m.Reuses.At(server).Inc()

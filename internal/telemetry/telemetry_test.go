@@ -178,7 +178,8 @@ func TestHotPathZeroAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() {
 		tm.RecordCall(3, 250*time.Microsecond, true)
 		tm.RecordDial(3, false)
-		tm.RecordReuse(3)
+		tm.RecordReuse(3, false)
+		tm.RecordReuse(3, true)
 	}); n != 0 {
 		t.Fatalf("transport recording allocates %v per op, want 0", n)
 	}

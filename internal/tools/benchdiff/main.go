@@ -9,10 +9,15 @@
 //	go run ./internal/tools/benchdiff [-threshold 0.25] baseline.json current.json [baseline2.json current2.json ...]
 //
 // The report kind is sniffed from its fields — BENCH_node.json
-// (sharded/coarse lookup ops_per_sec, batch keys_per_sec) and
+// (sharded/coarse lookup ops_per_sec, batch keys_per_sec),
 // BENCH_wal.json (volatile plus per-fsync-policy acked-mutation
-// ops_per_sec) are understood. Refresh a baseline by regenerating the
-// report on a quiet machine and committing it over the old one:
+// ops_per_sec), and BENCH_core.json (full-stack lookup ops_per_sec per
+// swept GOMAXPROCS, plus the mux-transport and epoch-store toggle
+// arms) are understood. Only throughput metrics are gated — latency
+// percentiles and allocation counts in the reports are informational
+// here (allocations have their own hard gates in internal/wire's
+// tests). Refresh a baseline by regenerating the report on a quiet
+// machine and committing it over the old one:
 //
 //	go run ./cmd/plsbench -node-bench results/baselines/BENCH_node.json
 package main
@@ -56,6 +61,20 @@ type walReport struct {
 	} `json:"arms"`
 }
 
+// coreReport mirrors the throughput-bearing subset of BENCH_core.json.
+type coreReport struct {
+	Scaling []struct {
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+	} `json:"scaling"`
+	TransportMux struct {
+		OpsPerSec float64 `json:"ops_per_sec"`
+	} `json:"transport_mux"`
+	StoreEpoch struct {
+		OpsPerSec float64 `json:"ops_per_sec"`
+	} `json:"store_epoch"`
+}
+
 // extract sniffs the report kind from its top-level fields and returns
 // its throughput metrics. Unknown shapes are an error, not a silent
 // pass: a renamed field must not disarm the gate.
@@ -79,6 +98,20 @@ func extract(path string) ([]metric, error) {
 			{"node.coarse.ops_per_sec", r.Coarse.OpsPerSec},
 			{"node.batch.keys_per_sec", r.Batch.KeysPerSec},
 		}, nil
+	case probe["scaling"] != nil:
+		var r coreReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		var ms []metric
+		for _, p := range r.Scaling {
+			ms = append(ms, metric{fmt.Sprintf("core.p%d.ops_per_sec", p.GOMAXPROCS), p.OpsPerSec})
+		}
+		ms = append(ms,
+			metric{"core.transport_mux.ops_per_sec", r.TransportMux.OpsPerSec},
+			metric{"core.store_epoch.ops_per_sec", r.StoreEpoch.OpsPerSec},
+		)
+		return ms, nil
 	case probe["volatile"] != nil:
 		var r walReport
 		if err := json.Unmarshal(data, &r); err != nil {
@@ -90,7 +123,7 @@ func extract(path string) ([]metric, error) {
 		}
 		return ms, nil
 	}
-	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json or BENCH_wal.json fields)", path)
+	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json, BENCH_wal.json, or BENCH_core.json fields)", path)
 }
 
 // diff compares current against baseline metrics by name and returns

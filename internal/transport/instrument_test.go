@@ -97,15 +97,54 @@ func TestClientRecordsDialsAndReuse(t *testing.T) {
 		}
 	}
 
-	// Sequential calls dial once, then reuse the pooled connection.
-	if got := tm.Dials.At(0).Value(); got != 1 {
-		t.Fatalf("dials = %d, want 1", got)
+	// Round-robin over the conn set dials each slot once, then every
+	// call reuses a live multiplexed connection.
+	if got := tm.Dials.At(0).Value(); got != DefaultMuxConns {
+		t.Fatalf("dials = %d, want %d", got, DefaultMuxConns)
 	}
-	if got := tm.Reuses.At(0).Value(); got != calls-1 {
-		t.Fatalf("reuses = %d, want %d", got, calls-1)
+	if got := tm.Reuses.At(0).Value(); got != calls-DefaultMuxConns {
+		t.Fatalf("lookup reuses = %d, want %d", got, calls-DefaultMuxConns)
+	}
+	if got := tm.MaintReuses.At(0).Value(); got != 0 {
+		t.Fatalf("maintenance reuses = %d, want 0 (Pings are lookup-class)", got)
 	}
 	if got := tm.DialErrors.At(0).Value(); got != 0 {
 		t.Fatalf("dial errors = %d, want 0", got)
+	}
+}
+
+// TestClientSplitsReuseByTrafficClass pins the conn_reuse telemetry
+// split: repair and membership messages count as maintenance reuse,
+// lookups as lookup reuse, on the same shared connections.
+func TestClientSplitsReuseByTrafficClass(t *testing.T) {
+	addr, _ := startServer(t)
+	tm := newTransportMetrics(1)
+	client := NewClient([]string{addr}, WithMuxConns(1), WithClientMetrics(tm))
+	defer client.Close()
+	ctx := context.Background()
+
+	if _, err := client.Call(ctx, 0, wire.Ping{}); err != nil { // dials
+		t.Fatalf("priming call: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, 0, wire.Lookup{Key: "k", T: 1}); err != nil {
+			t.Fatalf("lookup call: %v", err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Call(ctx, 0, wire.RepairQuery{Key: "k"}); err != nil {
+			t.Fatalf("repair call: %v", err)
+		}
+	}
+
+	if got := tm.Dials.At(0).Value(); got != 1 {
+		t.Fatalf("dials = %d, want 1 (maintenance must ride the warm conn)", got)
+	}
+	if got := tm.Reuses.At(0).Value(); got != 3 {
+		t.Fatalf("lookup reuses = %d, want 3", got)
+	}
+	if got := tm.MaintReuses.At(0).Value(); got != 2 {
+		t.Fatalf("maintenance reuses = %d, want 2", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -10,12 +11,21 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
-// Frame format: 4-byte big-endian payload length, then the payload
-// produced by wire.Encode.
+// Frame format: 4-byte big-endian body length, then the frame body.
+// Two body layouts exist (wire.ParseFrameBody classifies them by the
+// leading byte):
+//
+//	v1: the payload produced by wire.Encode — one request in flight
+//	    per connection, replies matched by order.
+//	v2: wire.FrameV2Marker, an 8-byte request id, then the payload —
+//	    multiplexed, replies matched by id.
+//
+// WriteFrame/ReadFrame below speak v1; they remain the compatibility
+// surface (and the unit of the frame tests). The multiplexed client in
+// mux.go and the server's v2 arm frame with wire.AppendFrameV2.
 
 // WriteFrame writes one framed message to w.
 func WriteFrame(w io.Writer, msg wire.Message) error {
@@ -65,8 +75,23 @@ func ReadFrame(r io.Reader) (wire.Message, error) {
 	return msg, nil
 }
 
-// Server accepts TCP connections and serves a Handler: one request
-// frame in, one reply frame out, pipelined per connection.
+// maxInflightPerConn bounds the handler goroutines a single v2
+// connection may have running at once. The bound is per connection, not
+// global: it stops one pipelining peer from monopolizing the scheduler
+// while leaving unrelated connections untouched.
+const maxInflightPerConn = 256
+
+// Server accepts TCP connections and serves a Handler. The frame
+// version is sticky per connection, fixed by the first frame:
+//
+//   - v1 connections are served serially — one request frame in, one
+//     reply frame out, in order — exactly as before multiplexing.
+//   - v2 connections dispatch every request frame to its own handler
+//     goroutine (bounded by maxInflightPerConn) and tag each reply with
+//     the id of the request it answers, so replies may overtake slow
+//     requests instead of queueing behind them.
+//
+// A peer that switches versions mid-stream is cut off as malformed.
 type Server struct {
 	handler Handler
 
@@ -130,18 +155,87 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+
+	// v2 dispatch state. inflight must drain before the deferred
+	// conn.Close above runs (defers are LIFO): a read-deadline kick from
+	// Shutdown breaks the read loop, but handlers already running still
+	// get their replies written — the same started-implies-replied
+	// guarantee the serial loop gave for free.
+	var (
+		wmu      sync.Mutex
+		inflight sync.WaitGroup
+		sem      chan struct{}
+	)
+	defer inflight.Wait()
+
+	br := bufio.NewReaderSize(conn, 32<<10)
+	version := 0
+	var hdr [4]byte
+	var body []byte
 	for {
-		msg, err := ReadFrame(conn)
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > wire.MaxFrameBody {
+			return
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		fb, err := wire.ParseFrameBody(body)
 		if err != nil {
 			return
 		}
-		reply := s.handler.Handle(context.Background(), msg)
-		if reply == nil {
-			reply = wire.Ack{}
+		if version == 0 {
+			version = fb.Version
+			if version == 2 {
+				sem = make(chan struct{}, maxInflightPerConn)
+			}
+		} else if version != fb.Version {
+			return // mixed-version peer: cut off, never half-interpreted
 		}
-		if err := WriteFrame(conn, reply); err != nil {
+		// Decode copies into a fresh arena, so body is free for reuse
+		// the moment it returns — even while handlers still run.
+		msg, err := wire.Decode(fb.Payload)
+		if err != nil {
 			return
 		}
+		if version == 1 {
+			reply := s.handler.Handle(context.Background(), msg)
+			if reply == nil {
+				reply = wire.Ack{}
+			}
+			if err := WriteFrame(conn, reply); err != nil {
+				return
+			}
+			continue
+		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(id uint64, msg wire.Message) {
+			defer inflight.Done()
+			defer func() { <-sem }()
+			reply := s.handler.Handle(context.Background(), msg)
+			if reply == nil {
+				reply = wire.Ack{}
+			}
+			buf := getFrameBuf()
+			*buf = wire.AppendFrameV2((*buf)[:0], id, reply)
+			wmu.Lock()
+			_, werr := conn.Write(*buf)
+			wmu.Unlock()
+			putFrameBuf(buf)
+			if werr != nil {
+				// The peer is gone; the read loop will notice too. Replies
+				// already written stay valid, this one is lost with the conn.
+				conn.Close()
+			}
+		}(fb.ID, msg)
 	}
 }
 
@@ -216,187 +310,20 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a Caller over TCP. It keeps a small pool of connections
-// per server: each call checks out an idle connection (dialing a new
-// one if none is free) and returns it afterwards. Pooling — rather
-// than one serialized connection per server — matters for correctness,
-// not just throughput: the Round-Robin delete protocol produces nested
-// RPC chains in which a server calls itself (coordinator → holders →
-// head server), and a serialized connection would deadlock on the
-// re-entrant call.
-type Client struct {
-	addrs   []string
-	timeout time.Duration
-	metrics *telemetry.TransportMetrics
-
-	mu     sync.Mutex
-	idle   [][]net.Conn
-	closed bool
+// getFrameBuf and putFrameBuf pool frame-encoding scratch buffers
+// shared by the server's v2 write path and the multiplexed client.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
-var _ Caller = (*Client)(nil)
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
 
-// maxIdlePerServer bounds the retained idle connections per server.
-const maxIdlePerServer = 4
-
-// ClientOption configures a Client.
-type ClientOption func(*Client)
-
-// WithTimeout sets the per-call I/O deadline (default 5s).
-func WithTimeout(d time.Duration) ClientOption {
-	return func(c *Client) { c.timeout = d }
-}
-
-// WithClientMetrics records the connection pool's checkout behavior
-// into m: fresh dials vs. pooled reuse per server, with failed dials
-// counting against the per-server error counter. Call-level metrics
-// (calls, latency, call errors) belong to the Instrument middleware,
-// which composes over the Client without double counting.
-func WithClientMetrics(m *telemetry.TransportMetrics) ClientOption {
-	return func(c *Client) { c.metrics = m }
-}
-
-// NewClient returns a Caller that treats addrs[i] as server i.
-func NewClient(addrs []string, opts ...ClientOption) *Client {
-	c := &Client{
-		addrs:   append([]string(nil), addrs...),
-		timeout: 5 * time.Second,
-		idle:    make([][]net.Conn, len(addrs)),
+func putFrameBuf(b *[]byte) {
+	if cap(*b) > wire.MaxFrameBody+4 {
+		return // oversized one-off; let the GC take it
 	}
-	for _, opt := range opts {
-		opt(c)
-	}
-	return c
-}
-
-// NumServers returns the number of configured addresses.
-func (c *Client) NumServers() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.addrs)
-}
-
-// Addrs returns a copy of the configured address list.
-func (c *Client) Addrs() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]string(nil), c.addrs...)
-}
-
-// AddServer appends a server address and returns its id (dynamic
-// membership: the daemon re-points its peer client when a
-// MembershipUpdate commits).
-func (c *Client) AddServer(addr string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.addrs = append(c.addrs, addr)
-	c.idle = append(c.idle, nil)
-	return len(c.addrs) - 1
-}
-
-// RemoveServer deletes one server's address and pooled connections,
-// shifting higher ids down by one.
-func (c *Client) RemoveServer(server int) {
-	c.mu.Lock()
-	if server < 0 || server >= len(c.addrs) {
-		c.mu.Unlock()
-		return
-	}
-	conns := c.idle[server]
-	c.addrs = append(c.addrs[:server], c.addrs[server+1:]...)
-	c.idle = append(c.idle[:server], c.idle[server+1:]...)
-	c.mu.Unlock()
-	for _, conn := range conns {
-		conn.Close()
-	}
-}
-
-// Call sends msg to server i and waits for the reply. Connection
-// failures are reported as ErrServerDown so strategy drivers fail over
-// exactly as they do under the in-process transport.
-func (c *Client) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
-	c.mu.Lock()
-	n := len(c.addrs)
-	c.mu.Unlock()
-	if server < 0 || server >= n {
-		return nil, fmt.Errorf("transport: server %d out of range [0,%d)", server, n)
-	}
-	conn, err := c.checkout(ctx, server)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
-	}
-	deadline := time.Now().Add(c.timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	if err := conn.SetDeadline(deadline); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
-	}
-	if err := WriteFrame(conn, msg); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
-	}
-	reply, err := ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
-	}
-	c.checkin(server, conn)
-	return reply, nil
-}
-
-// checkout returns an idle connection to the server or dials a new one.
-func (c *Client) checkout(ctx context.Context, server int) (net.Conn, error) {
-	c.mu.Lock()
-	if server < 0 || server >= len(c.addrs) {
-		// The member list shrank between the Call bounds check and here.
-		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: server %d no longer a member", server)
-	}
-	if n := len(c.idle[server]); n > 0 {
-		conn := c.idle[server][n-1]
-		c.idle[server] = c.idle[server][:n-1]
-		c.mu.Unlock()
-		c.metrics.RecordReuse(server)
-		return conn, nil
-	}
-	addr := c.addrs[server]
-	c.mu.Unlock()
-	var d net.Dialer
-	dialCtx, cancel := context.WithTimeout(ctx, c.timeout)
-	defer cancel()
-	conn, err := d.DialContext(dialCtx, "tcp", addr)
-	c.metrics.RecordDial(server, err != nil)
-	return conn, err
-}
-
-// checkin returns a healthy connection to the pool.
-func (c *Client) checkin(server int, conn net.Conn) {
-	c.mu.Lock()
-	if !c.closed && server >= 0 && server < len(c.idle) && len(c.idle[server]) < maxIdlePerServer {
-		c.idle[server] = append(c.idle[server], conn)
-		c.mu.Unlock()
-		return
-	}
-	c.mu.Unlock()
-	conn.Close()
-}
-
-// Close closes all pooled connections; in-flight calls finish on their
-// own connections.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	var firstErr error
-	for i := range c.idle {
-		for _, conn := range c.idle[i] {
-			if err := conn.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		c.idle[i] = nil
-	}
-	return firstErr
+	framePool.Put(b)
 }

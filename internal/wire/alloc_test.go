@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Allocation gates for the hot-path codec. These are hard build gates,
+// not benchmarks: a change that re-introduces per-message allocations
+// on the five hottest kinds fails `go test` everywhere it runs (local,
+// CI test job, race job). Budgets, per operation in steady state:
+//
+//   - AppendEncode into a with-capacity buffer: 0 allocations.
+//   - DecodeInto reusing the target's storage:  0 (flat messages) or
+//     ≤1 (a slice field growing to capacity; amortizes to 0).
+//
+// The ≤2 ceiling below leaves one allocation of slack over those
+// budgets so the gate survives compiler-version wobble without ever
+// letting a per-entry or per-string regression through (LookupReply
+// with 16 entries would cost 17+ without the arena views).
+
+const allocCeiling = 2
+
+func hotMessages() []Message {
+	entries := make([]string, 16)
+	for i := range entries {
+		entries[i] = fmt.Sprintf("entry-%02d", i)
+	}
+	return []Message{
+		Lookup{Key: "hot-key", T: 10},
+		LookupReply{Entries: entries},
+		Ack{},
+		Add{Key: "hot-key", Config: Config{Scheme: RandomServer, X: 3}, Entry: "v-new"},
+		StoreOne{Key: "hot-key", Config: Config{Scheme: RoundRobin, Y: 2}, Entry: "v-new", Pos: 7},
+	}
+}
+
+// TestAppendEncodeZeroAllocs gates the encode half: re-encoding into a
+// scratch buffer with capacity must not allocate at all.
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	for _, msg := range hotMessages() {
+		msg := msg
+		buf := make([]byte, 0, 1024)
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = AppendEncode(buf[:0], msg)
+		})
+		if allocs > 0 {
+			t.Errorf("AppendEncode(%T): %.1f allocs/op, want 0", msg, allocs)
+		}
+	}
+}
+
+// TestDecodeIntoAllocCeiling gates the decode half for the five hot
+// kinds through their DecodeInto variants.
+func TestDecodeIntoAllocCeiling(t *testing.T) {
+	var (
+		lk Lookup
+		lr LookupReply
+		ak Ack
+		ad Add
+		so StoreOne
+	)
+	cases := []struct {
+		name   string
+		data   []byte
+		decode func([]byte) error
+	}{
+		{"Lookup", Encode(hotMessages()[0]), func(b []byte) error { return lk.DecodeInto(b) }},
+		{"LookupReply", Encode(hotMessages()[1]), func(b []byte) error { return lr.DecodeInto(b) }},
+		{"Ack", Encode(hotMessages()[2]), func(b []byte) error { return ak.DecodeInto(b) }},
+		{"Add", Encode(hotMessages()[3]), func(b []byte) error { return ad.DecodeInto(b) }},
+		{"StoreOne", Encode(hotMessages()[4]), func(b []byte) error { return so.DecodeInto(b) }},
+	}
+	for _, tc := range cases {
+		if err := tc.decode(tc.data); err != nil { // warm slice capacities
+			t.Fatalf("%s: DecodeInto: %v", tc.name, err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := tc.decode(tc.data); err != nil {
+				t.Fatalf("%s: DecodeInto: %v", tc.name, err)
+			}
+		})
+		if allocs > allocCeiling {
+			t.Errorf("%s: DecodeInto %.1f allocs/op, want <= %d", tc.name, allocs, allocCeiling)
+		}
+	}
+}
+
+// TestDecodeIntoMatchesDecode pins that the zero-alloc variants parse
+// identically to the generic decoder on every hot kind.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	for _, msg := range hotMessages() {
+		data := Encode(msg)
+		want, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", msg, err)
+		}
+		switch w := want.(type) {
+		case Lookup:
+			var m Lookup
+			if err := m.DecodeInto(data); err != nil || m != w {
+				t.Errorf("Lookup.DecodeInto = %+v, %v; want %+v", m, err, w)
+			}
+		case LookupReply:
+			var m LookupReply
+			if err := m.DecodeInto(data); err != nil || len(m.Entries) != len(w.Entries) || m.Err != w.Err {
+				t.Errorf("LookupReply.DecodeInto = %+v, %v; want %+v", m, err, w)
+			} else {
+				for i := range m.Entries {
+					if m.Entries[i] != w.Entries[i] {
+						t.Errorf("LookupReply.DecodeInto entry %d = %q, want %q", i, m.Entries[i], w.Entries[i])
+					}
+				}
+			}
+		case Ack:
+			var m Ack
+			if err := m.DecodeInto(data); err != nil || m != w {
+				t.Errorf("Ack.DecodeInto = %+v, %v; want %+v", m, err, w)
+			}
+		case Add:
+			var m Add
+			if err := m.DecodeInto(data); err != nil || m != w {
+				t.Errorf("Add.DecodeInto = %+v, %v; want %+v", m, err, w)
+			}
+		case StoreOne:
+			var m StoreOne
+			if err := m.DecodeInto(data); err != nil || m != w {
+				t.Errorf("StoreOne.DecodeInto = %+v, %v; want %+v", m, err, w)
+			}
+		}
+	}
+}
+
+// TestDecodeIntoRejectsWrongKind pins that a DecodeInto variant fails
+// closed on a payload of a different kind instead of misparsing it.
+func TestDecodeIntoRejectsWrongKind(t *testing.T) {
+	data := Encode(Ping{})
+	var m Lookup
+	if err := m.DecodeInto(data); err == nil {
+		t.Fatal("Lookup.DecodeInto accepted a Ping payload")
+	}
+	if err := m.DecodeInto(nil); err == nil {
+		t.Fatal("Lookup.DecodeInto accepted an empty payload")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Codec limits. Oversized fields are rejected at decode time so a
@@ -30,7 +31,16 @@ var (
 
 // Encode serializes msg as a kind byte followed by its fields.
 func Encode(msg Message) []byte {
-	e := encoder{buf: make([]byte, 0, 64)}
+	return AppendEncode(make([]byte, 0, 64), msg)
+}
+
+// AppendEncode appends msg's encoding to dst and returns the extended
+// slice, exactly as append does. It is the zero-allocation form of
+// Encode: callers on the hot path keep a scratch buffer (typically from
+// a sync.Pool) and re-encode into it, so steady-state encoding performs
+// no allocations at all. The bytes produced are identical to Encode's.
+func AppendEncode(dst []byte, msg Message) []byte {
+	e := encoder{buf: dst}
 	e.byte(byte(msg.Kind()))
 	switch m := msg.(type) {
 	case Place:
@@ -211,7 +221,31 @@ func Encode(msg Message) []byte {
 
 // Decode parses a message previously produced by Encode. It never
 // panics on malformed input; it returns a descriptive error instead.
+// The returned message is fully independent of data, which the caller
+// may reuse immediately.
 func Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	if len(data) > MaxPayload {
+		return nil, ErrOversized
+	}
+	// One arena copy up front: every decoded string is a view into it,
+	// so a message costs one byte-slice allocation regardless of how
+	// many string fields it carries, and the caller keeps ownership of
+	// data.
+	arena := make([]byte, len(data))
+	copy(arena, data)
+	return DecodeOwned(arena)
+}
+
+// DecodeOwned parses a message like Decode but takes ownership of data:
+// decoded string fields alias it directly, with no arena copy. The
+// caller must not modify data after the call. It is the zero-copy path
+// for callers that read each message into a fresh buffer — the framed
+// TCP transport and the WAL replayer qualify; callers with a reused
+// read buffer must use Decode.
+func DecodeOwned(data []byte) (Message, error) {
 	if len(data) == 0 {
 		return nil, ErrTruncated
 	}
@@ -778,9 +812,21 @@ func (d *decoder) str() (string, error) {
 	if uint64(len(d.buf)) < n {
 		return "", ErrTruncated
 	}
-	s := string(d.buf[:n])
+	s := view(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s, nil
+}
+
+// view reinterprets b as a string without copying. Decoded strings may
+// be retained indefinitely (entry sets store them), so this is sound
+// only because every decode runs over an immutable buffer the decoder's
+// entry point owns: Decode copies the input into a private arena first,
+// and DecodeOwned transfers ownership by contract.
+func view(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 // batchLen reads and bounds the item count of a batch envelope.

@@ -1,0 +1,134 @@
+package wire
+
+import "fmt"
+
+// DecodeInto variants for the hot-path message kinds.
+//
+// The generic Decode boxes its result into the Message interface and
+// allocates fresh field slices on every call. The request path of a
+// busy server decodes the same handful of kinds millions of times, so
+// these per-kind variants decode into a caller-owned struct instead:
+// no interface boxing, and slice fields are rebuilt in place over their
+// existing capacity. Combined with the arena string views they bring a
+// steady-state decode down to zero allocations (Lookup, Ack, Add,
+// StoreOne) or one slice growth that amortizes away (LookupReply).
+//
+// Ownership follows DecodeOwned: decoded strings alias data, which the
+// caller must not modify afterwards.
+
+// intoDecoder validates the envelope shared by every DecodeInto
+// variant: non-empty, under the payload cap, and of the expected kind.
+func intoDecoder(data []byte, want Kind) (decoder, error) {
+	if len(data) == 0 {
+		return decoder{}, ErrTruncated
+	}
+	if len(data) > MaxPayload {
+		return decoder{}, ErrOversized
+	}
+	if Kind(data[0]) != want {
+		return decoder{}, fmt.Errorf("%w: kind %d, want %d", ErrBadMessage, data[0], want)
+	}
+	return decoder{buf: data[1:]}, nil
+}
+
+// finish folds a field-decode error with the trailing-bytes check, the
+// same epilogue Decode applies.
+func (d *decoder) finish(err error) error {
+	if err != nil {
+		return err
+	}
+	if len(d.buf) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// strsInto decodes a string slice over dst's capacity, returning the
+// rebuilt slice. Unlike strs it returns an empty non-nil slice for an
+// empty list when dst has capacity; callers compare by length.
+func (d *decoder) strsInto(dst []string) ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return dst, err
+	}
+	if n > maxSliceLen {
+		return dst, ErrOversized
+	}
+	dst = dst[:0]
+	for i := uint64(0); i < n; i++ {
+		s, err := d.str()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, s)
+	}
+	return dst, nil
+}
+
+// DecodeInto parses an encoded Lookup into m, reusing m's storage.
+func (m *Lookup) DecodeInto(data []byte) error {
+	d, err := intoDecoder(data, KindLookup)
+	if err != nil {
+		return err
+	}
+	if m.Key, err = d.str(); err == nil {
+		m.T, err = d.intval()
+	}
+	return d.finish(err)
+}
+
+// DecodeInto parses an encoded LookupReply into m, rebuilding Entries
+// over its existing capacity.
+func (m *LookupReply) DecodeInto(data []byte) error {
+	d, err := intoDecoder(data, KindLookupReply)
+	if err != nil {
+		return err
+	}
+	if m.Entries, err = d.strsInto(m.Entries); err == nil {
+		m.Err, err = d.str()
+	}
+	return d.finish(err)
+}
+
+// DecodeInto parses an encoded Ack into m.
+func (m *Ack) DecodeInto(data []byte) error {
+	d, err := intoDecoder(data, KindAck)
+	if err != nil {
+		return err
+	}
+	m.Err, err = d.str()
+	return d.finish(err)
+}
+
+// DecodeInto parses an encoded Add into m.
+func (m *Add) DecodeInto(data []byte) error {
+	d, err := intoDecoder(data, KindAdd)
+	if err != nil {
+		return err
+	}
+	if m.Key, err = d.str(); err == nil {
+		m.Config, err = d.config()
+	}
+	if err == nil {
+		m.Entry, err = d.str()
+	}
+	return d.finish(err)
+}
+
+// DecodeInto parses an encoded StoreOne into m.
+func (m *StoreOne) DecodeInto(data []byte) error {
+	d, err := intoDecoder(data, KindStoreOne)
+	if err != nil {
+		return err
+	}
+	if m.Key, err = d.str(); err == nil {
+		m.Config, err = d.config()
+	}
+	if err == nil {
+		m.Entry, err = d.str()
+	}
+	if err == nil {
+		m.Pos, err = d.intval()
+	}
+	return d.finish(err)
+}

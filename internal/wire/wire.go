@@ -209,6 +209,15 @@ const (
 	KindRebalancePush
 )
 
+// MaintenanceKind reports whether k belongs to the background
+// maintenance protocols — anti-entropy repair and dynamic membership
+// (join/leave/rebalance) — rather than the request path. The transport
+// uses it to split connection-reuse telemetry by traffic class.
+func MaintenanceKind(k Kind) bool {
+	return (k >= KindRepairQuery && k <= KindRepairPushReply) ||
+		(k >= KindJoin && k <= KindRebalancePush)
+}
+
 // Message is implemented by every protocol message.
 type Message interface {
 	Kind() Kind
