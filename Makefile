@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench core-bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench core-bench proxy-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -65,6 +65,12 @@ membership-bench:
 # store reads, codec allocations per op (BENCH_core.json).
 core-bench:
 	$(GO) run ./cmd/plsbench -core-bench BENCH_core.json
+
+# Front-tier sweep: open-loop Zipf load against the cluster directly
+# vs through plsproxy — latency-under-load curves, saturation points,
+# hot-key p99, cache hit rate (BENCH_proxy.json).
+proxy-bench:
+	$(GO) run ./cmd/plsbench -proxy-bench BENCH_proxy.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

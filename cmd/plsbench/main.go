@@ -11,6 +11,7 @@
 //	plsbench -repair-bench BENCH_repair.json [-repair-bench-rounds 8]
 //	plsbench -membership-bench BENCH_membership.json [-membership-bench-rounds 6]
 //	plsbench -core-bench BENCH_core.json [-core-bench-window 2s]
+//	plsbench -proxy-bench BENCH_proxy.json [-proxy-bench-window 1500ms]
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
@@ -74,6 +75,8 @@ func run() error {
 		memRnds  = flag.Int("membership-bench-rounds", 6, "join+drain rounds per membership-bench scheme")
 		coreOut  = flag.String("core-bench", "", "run the hot-path GOMAXPROCS sweep with per-layer toggles instead of experiments and write BENCH_core.json-style output to this file")
 		coreWin  = flag.Duration("core-bench-window", 2*time.Second, "measurement window per core-bench arm")
+		proxyOut = flag.String("proxy-bench", "", "run the open-loop Zipf direct-vs-proxy load sweep instead of experiments and write BENCH_proxy.json-style output to this file")
+		proxyWin = flag.Duration("proxy-bench-window", 1500*time.Millisecond, "measurement window per proxy-bench rate point")
 	)
 	flag.Parse()
 
@@ -94,6 +97,9 @@ func run() error {
 	}
 	if *coreOut != "" {
 		return runCoreBench(*coreOut, *coreWin)
+	}
+	if *proxyOut != "" {
+		return runProxyBench(*proxyOut, *proxyWin)
 	}
 
 	var fid bench.Fidelity

@@ -1,0 +1,462 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/proxy"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Proxy front-tier benchmark (-proxy-bench): an open-loop Zipf-hotspot
+// load generator swept across offered request rates, once against the
+// cluster directly and once through a plsproxy front tier, over the
+// same seeded key population on the same live TCP stack.
+//
+// Open loop means arrivals are scheduled by the clock, not by
+// completions: when an arm saturates, queueing delay is charged to the
+// requests (latency measured from the scheduled arrival), so the
+// latency-under-load curve blows up past the knee instead of the
+// generator politely slowing down. The two headline comparisons:
+//
+//   - hot-key p99: tail latency of rank-1 (hottest key) requests at
+//     the highest rate both arms sustain. The proxy answers the hot
+//     key from its TTL cache after one backend probe sequence per TTL
+//     window; the direct arm pays the full multi-probe walk per call.
+//   - saturation: the highest offered rate each arm achieves within
+//     95%. The proxy collapses duplicate in-flight lookups and strips
+//     cached traffic off the cluster, so its knee sits further right.
+//
+// The run also re-checks cold-path byte-identity (a proxy with the
+// cache disabled must answer a seeded workload exactly like an
+// identically-seeded direct service) and fails loudly if it drifts.
+// The report (BENCH_proxy.json) is machine-readable for CI's benchdiff
+// gate.
+
+const (
+	proxyBenchServers = 4
+	proxyBenchKeys    = 128
+	proxyBenchEntries = 12
+	proxyBenchT       = 9
+	proxyBenchZipfS   = 1.2
+	proxyBenchTTL     = 500 * time.Millisecond
+	proxyBenchWorkers = 96
+)
+
+// proxyBenchRates is the offered-rate sweep (requests/second). The top
+// points are intended to saturate the direct arm on small hosts so the
+// saturation comparison is meaningful everywhere.
+var proxyBenchRates = []float64{1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000}
+
+type proxyRatePoint struct {
+	OfferedPerSec  float64 `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	P50Micros      float64 `json:"p50_micros"`
+	P99Micros      float64 `json:"p99_micros"`
+	HotP99Micros   float64 `json:"hot_p99_micros"`
+	Errors         int64   `json:"errors"`
+}
+
+type proxyBenchReport struct {
+	Servers       int     `json:"servers"`
+	Keys          int     `json:"keys"`
+	EntriesPerKey int     `json:"entries_per_key"`
+	LookupT       int     `json:"lookup_t"`
+	ZipfS         float64 `json:"zipf_s"`
+	CacheTTLMs    float64 `json:"cache_ttl_ms"`
+	WindowSec     float64 `json:"window_sec"`
+	Workers       int     `json:"workers"`
+	NumCPU        int     `json:"num_cpu"`
+
+	Direct []proxyRatePoint `json:"direct"`
+	Proxy  []proxyRatePoint `json:"proxy"`
+
+	// Saturation: highest offered rate achieved within 95%, per arm.
+	DirectSaturationOps float64 `json:"direct_saturation_ops"`
+	ProxySaturationOps  float64 `json:"proxy_saturation_ops"`
+	SaturationGain      float64 `json:"proxy_saturation_over_direct"`
+
+	// Hot-key p99 at the reference rate: the highest swept rate both
+	// arms sustain (achieved >= 95% of offered).
+	RefRatePerSec      float64 `json:"ref_rate_per_sec"`
+	HotP99DirectMicros float64 `json:"hot_p99_direct_micros"`
+	HotP99ProxyMicros  float64 `json:"hot_p99_proxy_micros"`
+	HotP99Gain         float64 `json:"direct_hot_p99_over_proxy"`
+
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	Coalesced         int64   `json:"coalesced"`
+	ColdPathIdentical bool    `json:"cold_path_identical"`
+	Note              string  `json:"note"`
+}
+
+func proxyBenchKey(rank int) string { return fmt.Sprintf("pb-k%03d", rank) }
+
+// newProxyBenchCluster starts proxyBenchServers in-process nodes whose
+// peer traffic rides a shared in-proc transport, each fronted by its
+// own TCP server — so both arms pay real TCP costs on the path under
+// test while the cluster's internal fan-out stays off the wire.
+func newProxyBenchCluster() (addrs []string, cleanup func(), err error) {
+	tr := transport.NewInproc(proxyBenchServers)
+	var srvs []*transport.Server
+	cleanup = func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < proxyBenchServers; i++ {
+		nd := node.New(i, stats.NewRNG(uint64(i+1)))
+		nd.Attach(tr)
+		tr.Bind(i, nd)
+		srv := transport.NewServer(nd)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		srvs = append(srvs, srv)
+		addrs = append(addrs, addr)
+	}
+
+	// Seed the key population over the in-proc path: Round-Robin-1
+	// spreads entries evenly, so a t=9 lookup over 12 entries walks 3
+	// of the 4 servers — a realistically multi-probe direct cost.
+	svc, err := core.NewService(tr,
+		core.WithSeed(1),
+		core.WithDefaultConfig(core.Config{Scheme: core.RoundRobin, Y: 1}))
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	ctx := context.Background()
+	for k := 1; k <= proxyBenchKeys; k++ {
+		entries := make([]core.Entry, proxyBenchEntries)
+		for i := range entries {
+			entries[i] = core.Entry(fmt.Sprintf("%s-v%02d", proxyBenchKey(k), i))
+		}
+		if err := svc.Place(ctx, proxyBenchKey(k), entries); err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("proxy-bench seed %s: %w", proxyBenchKey(k), err)
+		}
+	}
+	return addrs, cleanup, nil
+}
+
+// openLoopRun drives one arm at one offered rate. The schedule is
+// precomputed (deterministic Zipf ranks, evenly spaced arrivals) and a
+// pacer releases requests on the clock into a queue sized for the
+// whole window, so a saturated arm backlogs in the queue — and that
+// wait is part of each request's measured latency.
+func openLoopRun(do func(key string) error, rate float64, window time.Duration) (proxyRatePoint, error) {
+	total := int(rate * window.Seconds())
+	if total < 1 {
+		return proxyRatePoint{}, fmt.Errorf("proxy-bench: window too short for rate %.0f", rate)
+	}
+	zipf := stats.NewZipf(proxyBenchKeys, proxyBenchZipfS)
+	rng := stats.NewRNG(1)
+	ranks := make([]int, total)
+	for i := range ranks {
+		ranks[i] = zipf.Sample(rng)
+	}
+
+	type arrival struct {
+		due  time.Time
+		rank int
+	}
+	reqCh := make(chan arrival, total)
+	interval := time.Duration(float64(window) / float64(total))
+	var errCount atomic.Int64
+	lats := make([][]time.Duration, proxyBenchWorkers)
+	hotLats := make([][]time.Duration, proxyBenchWorkers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < proxyBenchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for a := range reqCh {
+				err := do(proxyBenchKey(a.rank))
+				lat := time.Since(a.due)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				lats[w] = append(lats[w], lat)
+				if a.rank == 1 {
+					hotLats[w] = append(hotLats[w], lat)
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	due := start
+	for _, rank := range ranks {
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		reqCh <- arrival{due: due, rank: rank}
+		due = due.Add(interval)
+	}
+	close(reqCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all, hot []time.Duration
+	for w := 0; w < proxyBenchWorkers; w++ {
+		all = append(all, lats[w]...)
+		hot = append(hot, hotLats[w]...)
+	}
+	if len(all) == 0 {
+		return proxyRatePoint{}, fmt.Errorf("proxy-bench: no requests completed at rate %.0f", rate)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	pct := func(ds []time.Duration, p float64) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		return float64(ds[int(p*float64(len(ds)-1))]) / float64(time.Microsecond)
+	}
+	return proxyRatePoint{
+		OfferedPerSec:  rate,
+		AchievedPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50Micros:      pct(all, 0.50),
+		P99Micros:      pct(all, 0.99),
+		HotP99Micros:   pct(hot, 0.99),
+		Errors:         errCount.Load(),
+	}, nil
+}
+
+// saturationOps is the highest offered rate achieved within 95%.
+func saturationOps(points []proxyRatePoint) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.AchievedPerSec >= 0.95*p.OfferedPerSec && p.OfferedPerSec > best {
+			best = p.OfferedPerSec
+		}
+	}
+	return best
+}
+
+// checkColdPathIdentity replays a seeded workload through a cache-off
+// proxy and an identically-seeded direct service and requires
+// byte-identical answers — the guarantee that putting the proxy in
+// front of cold traffic changes nothing but the socket it arrives on.
+func checkColdPathIdentity() error {
+	newSvc := func() (*core.Service, error) {
+		cl := cluster.New(proxyBenchServers, stats.NewRNG(7))
+		return core.NewService(cl.Caller(),
+			core.WithSeed(11),
+			core.WithDefaultConfig(core.Config{Scheme: core.RoundRobin, Y: 1}))
+	}
+	direct, err := newSvc()
+	if err != nil {
+		return err
+	}
+	backend, err := newSvc()
+	if err != nil {
+		return err
+	}
+	px := proxy.New(backend, proxy.Options{TTL: 0})
+	ctx := context.Background()
+	for k := 1; k <= 16; k++ {
+		key := proxyBenchKey(k)
+		entries := make([]core.Entry, proxyBenchEntries)
+		wireEntries := make([]string, proxyBenchEntries)
+		for i := range entries {
+			wireEntries[i] = fmt.Sprintf("%s-v%02d", key, i)
+			entries[i] = core.Entry(wireEntries[i])
+		}
+		if err := direct.Place(ctx, key, entries); err != nil {
+			return err
+		}
+		ack := px.Handle(ctx, wire.Place{
+			Key:     key,
+			Config:  wire.Config{Scheme: wire.RoundRobin, Y: 1},
+			Entries: wireEntries,
+		})
+		if a, ok := ack.(wire.Ack); !ok || a.Err != "" {
+			return fmt.Errorf("proxy-bench identity place %s: %v", key, ack)
+		}
+	}
+	for round := 0; round < 2; round++ {
+		for k := 1; k <= 16; k++ {
+			key := proxyBenchKey(k)
+			want, err := direct.PartialLookup(ctx, key, proxyBenchT)
+			if err != nil {
+				return err
+			}
+			reply := px.Handle(ctx, wire.Lookup{Key: key, T: proxyBenchT})
+			lr, ok := reply.(wire.LookupReply)
+			if !ok || lr.Err != "" {
+				return fmt.Errorf("proxy-bench identity lookup %s: %v", key, reply)
+			}
+			wantStrs := make([]string, len(want.Entries))
+			for i, e := range want.Entries {
+				wantStrs[i] = string(e)
+			}
+			if !reflect.DeepEqual(lr.Entries, wantStrs) {
+				return fmt.Errorf("proxy-bench cold-path identity broken at %s round %d: proxy %v != direct %v",
+					key, round, lr.Entries, wantStrs)
+			}
+		}
+	}
+	return nil
+}
+
+// runProxyBench executes both arms across the rate sweep and writes
+// the JSON report to path.
+func runProxyBench(path string, window time.Duration) error {
+	if err := checkColdPathIdentity(); err != nil {
+		return err
+	}
+
+	addrs, cleanup, err := newProxyBenchCluster()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// Direct arm: a client-side service probing the cluster per lookup.
+	directClient := transport.NewClient(addrs, transport.WithTimeout(10*time.Second))
+	defer directClient.Close()
+	directSvc, err := core.NewService(directClient,
+		core.WithSeed(2),
+		core.WithDefaultConfig(core.Config{Scheme: core.RoundRobin, Y: 1}))
+	if err != nil {
+		return err
+	}
+	directDo := func(key string) error {
+		res, err := directSvc.PartialLookup(context.Background(), key, proxyBenchT)
+		if err != nil {
+			return err
+		}
+		if len(res.Entries) < proxyBenchT {
+			return fmt.Errorf("unsatisfied: %d < %d", len(res.Entries), proxyBenchT)
+		}
+		return nil
+	}
+
+	// Proxy arm: the same service stack behind a plsproxy front tier;
+	// the generator speaks raw wire lookups to the proxy's TCP server.
+	reg := telemetry.NewRegistry()
+	pm := telemetry.NewProxyMetrics(reg)
+	backendClient := transport.NewClient(addrs, transport.WithTimeout(10*time.Second))
+	defer backendClient.Close()
+	backendSvc, err := core.NewService(backendClient,
+		core.WithSeed(2),
+		core.WithDefaultConfig(core.Config{Scheme: core.RoundRobin, Y: 1}))
+	if err != nil {
+		return err
+	}
+	px := proxy.New(backendSvc, proxy.Options{
+		CacheEntries: 4096,
+		TTL:          proxyBenchTTL,
+		Metrics:      pm,
+	})
+	proxySrv := transport.NewServer(px)
+	proxyAddr, err := proxySrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer proxySrv.Close()
+	proxyClient := transport.NewClient([]string{proxyAddr}, transport.WithTimeout(10*time.Second))
+	defer proxyClient.Close()
+	proxyDo := func(key string) error {
+		reply, err := proxyClient.Call(context.Background(), 0, wire.Lookup{Key: key, T: proxyBenchT})
+		if err != nil {
+			return err
+		}
+		lr, ok := reply.(wire.LookupReply)
+		if !ok || lr.Err != "" {
+			return fmt.Errorf("proxy lookup: %v", reply)
+		}
+		if len(lr.Entries) < proxyBenchT {
+			return fmt.Errorf("unsatisfied: %d < %d", len(lr.Entries), proxyBenchT)
+		}
+		return nil
+	}
+
+	report := proxyBenchReport{
+		Servers:       proxyBenchServers,
+		Keys:          proxyBenchKeys,
+		EntriesPerKey: proxyBenchEntries,
+		LookupT:       proxyBenchT,
+		ZipfS:         proxyBenchZipfS,
+		CacheTTLMs:    float64(proxyBenchTTL) / float64(time.Millisecond),
+		WindowSec:     window.Seconds(),
+		Workers:       proxyBenchWorkers,
+		NumCPU:        runtime.NumCPU(),
+		Note: "open-loop: latency is measured from the scheduled arrival, so " +
+			"points past an arm's saturation rate include queueing delay by " +
+			"design. Compare arms at the shared ref_rate_per_sec; the " +
+			"saturation fields compare the knees themselves.",
+	}
+	for _, rate := range proxyBenchRates {
+		dp, err := openLoopRun(directDo, rate, window)
+		if err != nil {
+			return fmt.Errorf("proxy-bench direct arm at %.0f/s: %w", rate, err)
+		}
+		report.Direct = append(report.Direct, dp)
+		pp, err := openLoopRun(proxyDo, rate, window)
+		if err != nil {
+			return fmt.Errorf("proxy-bench proxy arm at %.0f/s: %w", rate, err)
+		}
+		report.Proxy = append(report.Proxy, pp)
+		fmt.Fprintf(os.Stderr, "[rate %6.0f/s: direct %6.0f/s p99 %8.0fus | proxy %6.0f/s p99 %8.0fus]\n",
+			rate, dp.AchievedPerSec, dp.P99Micros, pp.AchievedPerSec, pp.P99Micros)
+	}
+
+	report.DirectSaturationOps = saturationOps(report.Direct)
+	report.ProxySaturationOps = saturationOps(report.Proxy)
+	if report.DirectSaturationOps > 0 {
+		report.SaturationGain = report.ProxySaturationOps / report.DirectSaturationOps
+	}
+
+	// Reference rate: the highest swept rate both arms sustained.
+	for i := range proxyBenchRates {
+		d, p := report.Direct[i], report.Proxy[i]
+		if d.AchievedPerSec >= 0.95*d.OfferedPerSec && p.AchievedPerSec >= 0.95*p.OfferedPerSec {
+			report.RefRatePerSec = proxyBenchRates[i]
+			report.HotP99DirectMicros = d.HotP99Micros
+			report.HotP99ProxyMicros = p.HotP99Micros
+		}
+	}
+	if report.HotP99ProxyMicros > 0 {
+		report.HotP99Gain = report.HotP99DirectMicros / report.HotP99ProxyMicros
+	}
+
+	if total := pm.CacheHits.Value() + pm.CacheMisses.Value(); total > 0 {
+		report.CacheHitRate = float64(pm.CacheHits.Value()) / float64(total)
+	}
+	report.Coalesced = pm.Coalesced.Value()
+	report.ColdPathIdentical = true // checkColdPathIdentity errored otherwise
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write -proxy-bench file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	fmt.Printf("proxy bench: saturation direct %.0f/s vs proxy %.0f/s (%.2fx); hot-key p99 at %.0f/s: direct %.0fus vs proxy %.0fus (%.2fx); cache hit rate %.2f, %d coalesced; cold path identical\n",
+		report.DirectSaturationOps, report.ProxySaturationOps, report.SaturationGain,
+		report.RefRatePerSec, report.HotP99DirectMicros, report.HotP99ProxyMicros, report.HotP99Gain,
+		report.CacheHitRate, report.Coalesced)
+	return nil
+}

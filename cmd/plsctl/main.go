@@ -89,6 +89,9 @@ func run() error {
 		// Client-side telemetry.
 		showTelemetry = flag.Bool("telemetry", false, "print this client's telemetry snapshot to stderr after the command")
 		statsJSON     = flag.Bool("stats-json", false, "stats: dump the raw JSON snapshot instead of pretty-printing")
+
+		// Front-tier mode: -servers names a plsproxy, not the cluster.
+		viaProxy = flag.Bool("proxy", false, "treat -servers as a plsproxy front tier: ship raw wire requests and let the proxy route, coalesce, and cache")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -106,6 +109,17 @@ func run() error {
 	addrs, err := cliutil.ParseServerList(*servers)
 	if err != nil {
 		return err
+	}
+	if *viaProxy {
+		// Front-tier mode: the strategy layer lives in the proxy, so ship
+		// the raw wire request and print whatever comes back. The local
+		// config flags still travel with updates — the proxy needs them to
+		// place keys — but lookups are config-free.
+		cfg, err := cliutil.ParseScheme(*scheme, *x, *y, *seed)
+		if err != nil {
+			return err
+		}
+		return runProxy(addrs, cfg, *timeout, *muxConns, verb, args)
 	}
 	// Membership verbs commit a cluster-wide rebalance — every member
 	// sweeps every key synchronously before the ack — so they use their
@@ -340,6 +354,138 @@ func run() error {
 		return fmt.Errorf("unknown verb %q", verb)
 	}
 	return nil
+}
+
+// runProxy drives one verb against a plsproxy front tier with raw wire
+// messages. The proxy owns routing, coalescing, and the result cache;
+// this side is a dumb pipe plus pretty-printing.
+func runProxy(addrs []string, cfg wire.Config, timeout time.Duration, muxConns int, verb string, args []string) error {
+	client := transport.NewClient(addrs,
+		transport.WithTimeout(timeout),
+		transport.WithMuxConns(muxConns))
+	defer client.Close()
+	call := func(msg wire.Message, deadline time.Duration) (wire.Message, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		return client.Call(ctx, 0, msg)
+	}
+	ackCall := func(msg wire.Message, what string) error {
+		reply, err := call(msg, timeout*2)
+		if err != nil {
+			return err
+		}
+		if ack, ok := reply.(wire.Ack); !ok || ack.Err != "" {
+			return fmt.Errorf("%s: %v", what, reply)
+		}
+		fmt.Printf("%s: ok (via proxy)\n", what)
+		return nil
+	}
+	switch verb {
+	case "place":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: place KEY v1 [v2...]")
+		}
+		return ackCall(wire.Place{Key: args[1], Config: cfg, Entries: args[2:]},
+			fmt.Sprintf("place %q (%d entries)", args[1], len(args)-2))
+	case "add":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: add KEY ENTRY")
+		}
+		return ackCall(wire.Add{Key: args[1], Config: cfg, Entry: args[2]},
+			fmt.Sprintf("add %q to %q", args[2], args[1]))
+	case "delete":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: delete KEY ENTRY")
+		}
+		return ackCall(wire.Delete{Key: args[1], Config: cfg, Entry: args[2]},
+			fmt.Sprintf("delete %q from %q", args[2], args[1]))
+	case "lookup":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: lookup KEY T")
+		}
+		t, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad target answer size %q: %w", args[2], err)
+		}
+		reply, err := call(wire.Lookup{Key: args[1], T: t}, timeout*2)
+		if err != nil {
+			return err
+		}
+		lr, ok := reply.(wire.LookupReply)
+		if !ok || lr.Err != "" {
+			return fmt.Errorf("lookup %q: %v", args[1], reply)
+		}
+		status := "satisfied"
+		if len(lr.Entries) < t {
+			status = "UNSATISFIED"
+		}
+		fmt.Printf("partial_lookup(%q, %d): %d entries via proxy (%s)\n", args[1], t, len(lr.Entries), status)
+		for _, v := range lr.Entries {
+			fmt.Println(" ", v)
+		}
+		return nil
+	case "mlookup":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: mlookup T KEY [KEY...]")
+		}
+		t, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad target answer size %q: %w", args[1], err)
+		}
+		items := make([]wire.Lookup, 0, len(args)-2)
+		for _, k := range args[2:] {
+			items = append(items, wire.Lookup{Key: k, T: t})
+		}
+		reply, err := call(wire.LookupBatch{Items: items}, timeout*2)
+		if err != nil {
+			return err
+		}
+		lbr, ok := reply.(wire.LookupBatchReply)
+		if !ok || lbr.Err != "" {
+			return fmt.Errorf("mlookup: %v", reply)
+		}
+		for i, r := range lbr.Replies {
+			if r.Err != "" {
+				fmt.Printf("%s: ERROR %s\n", items[i].Key, r.Err)
+				continue
+			}
+			status := "satisfied"
+			if len(r.Entries) < t {
+				status = "UNSATISFIED"
+			}
+			fmt.Printf("%s: %d entries via proxy (%s) %v\n", items[i].Key, len(r.Entries), status, r.Entries)
+		}
+		return nil
+	case "join":
+		reply, err := call(wire.Join{Addr: args[1]}, 2*time.Minute)
+		if err != nil {
+			return err
+		}
+		switch r := reply.(type) {
+		case wire.MembershipUpdate:
+			fmt.Printf("joined %s as server %d via proxy: cluster now %d members at epoch %d\n",
+				args[1], r.NewN-1, r.NewN, r.Epoch)
+			return nil
+		default:
+			return fmt.Errorf("join %s: %v", args[1], reply)
+		}
+	case "drain":
+		idx, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("usage: drain INDEX (got %q)", args[1])
+		}
+		reply, err := call(wire.Leave{Server: idx}, 2*time.Minute)
+		if err != nil {
+			return err
+		}
+		if ack, ok := reply.(wire.Ack); !ok || ack.Err != "" {
+			return fmt.Errorf("drain %d: %v", idx, reply)
+		}
+		fmt.Printf("drained server %d via proxy\n", idx)
+		return nil
+	default:
+		return fmt.Errorf("verb %q is not available through -proxy (the proxy serves place|add|delete|lookup|mlookup|join|drain)", verb)
+	}
 }
 
 // membershipCall sends one membership message (wire.Join or wire.Leave)

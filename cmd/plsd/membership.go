@@ -80,10 +80,14 @@ func (c *membershipController) postSweep(m wire.MembershipUpdate) {
 		c.once.Do(func() { close(c.drained) })
 		return
 	}
-	c.client.RemoveServer(m.Leaving)
+	// Flush the selector before compacting the client: its route cache
+	// holds pre-compaction server ids, and a concurrent peer call that
+	// consulted the warm cache after RemoveServer would dial the wrong
+	// (renumbered) slot.
 	if c.sel != nil {
 		c.sel.Resize(m.NewN)
 	}
+	c.client.RemoveServer(m.Leaving)
 	if id := c.nd.ID(); id > m.Leaving {
 		c.nd.SetID(id - 1)
 	}

@@ -1,0 +1,192 @@
+// Command plsproxy runs a stateless front tier for a plsd cluster.
+//
+// The proxy terminates many cheap client connections on one listen
+// address, coalesces duplicate in-flight partial lookups, serves hot
+// keys from a bounded TTL result cache, and fans the rest out to the
+// plsd servers over the multiplexed peer transport — so a crowd of
+// clients asking for the same hot key costs the cluster one probe
+// sequence, not one per client:
+//
+//	plsproxy -listen 127.0.0.1:7100 \
+//	         -servers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	         -cache-ttl 2s -cache-entries 4096
+//
+// Clients speak the ordinary wire protocol to the proxy exactly as
+// they would to a plsd server (plsctl just needs -servers pointed at
+// the proxy). Updates routed through the proxy invalidate its cached
+// answers for the touched keys only after the cluster acks, so a
+// cached answer never outlives an acknowledged update by more than
+// -cache-ttl; point plsctl at the cluster directly if you update
+// behind the proxy's back and cannot tolerate that staleness bound.
+// See docs/OPERATIONS.md for the sizing and staleness runbook.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/proxy"
+	"repro/internal/selector"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plsproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7100", "client-facing listen address")
+		servers = flag.String("servers", "127.0.0.1:7001", "comma-separated plsd server addresses")
+		admin   = flag.String("admin", "", "admin/debug HTTP listen address serving /metrics, /healthz, and /debug/pprof/ (empty = disabled)")
+
+		cacheEntries = flag.Int("cache-entries", 4096, "max cached partial-lookup answers (each (key, t) pair is one entry)")
+		cacheTTL     = flag.Duration("cache-ttl", 2*time.Second, "result cache TTL; the staleness bound for updates the proxy does not see (0 = cache off, coalescing stays on)")
+
+		scheme   = flag.String("scheme", "round", "default placement scheme for keys whose updates arrive without one: full, fixed, randomserver, round, hash, multiprobe, partition")
+		x        = flag.Int("x", 0, "x parameter (fixed, randomserver)")
+		y        = flag.Int("y", 1, "y parameter (round, hash)")
+		hashSeed = flag.Uint64("hash-seed", 0, "hash family seed (hash scheme)")
+		seed     = flag.Uint64("seed", 0, "RNG seed for probe-order sampling (0 = derived from time)")
+
+		timeout     = flag.Duration("timeout", 5*time.Second, "backend RPC timeout")
+		muxConns    = flag.Int("mux-conns", transport.DefaultMuxConns, "multiplexed TCP connections per server; requests are pipelined over them")
+		retries     = flag.Int("retries", 1, "attempts per probe before failing over to the next server")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "delay before the first retry (doubles per retry)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "send a second identical probe after this latency (0 = off)")
+		useSelector = flag.Bool("selector", true, "adapt probe order to observed server health and cached per-key routes")
+	)
+	flag.Parse()
+
+	addrs, err := cliutil.ParseServerList(*servers)
+	if err != nil {
+		return err
+	}
+	cfg, err := cliutil.ParseScheme(*scheme, *x, *y, *hashSeed)
+	if err != nil {
+		return err
+	}
+	rngSeed := *seed
+	if rngSeed == 0 {
+		rngSeed = uint64(time.Now().UnixNano())
+	}
+
+	reg := telemetry.NewRegistry()
+	tm := telemetry.NewTransportMetrics(reg, "backend", len(addrs))
+	pm := telemetry.NewProxyMetrics(reg)
+	lm := telemetry.NewLookupMetrics(reg)
+	telemetry.RegisterRuntimeMetrics(reg)
+
+	client := transport.NewClient(addrs,
+		transport.WithTimeout(*timeout),
+		transport.WithMuxConns(*muxConns),
+		transport.WithClientMetrics(tm))
+	defer client.Close()
+	var caller transport.Caller = client
+	var sel *selector.Selector
+	if *useSelector {
+		sel = selector.New(len(addrs), selector.Options{
+			Metrics: telemetry.NewSelectorMetrics(reg),
+		})
+	}
+	caller = transport.Instrument(caller, tm)
+
+	// The proxy is constructed after the service, but the service's
+	// update hook must reach it: late-bind through a pointer. The hook
+	// is belt and braces — every update path through Handle already
+	// invalidates — but it also covers programmatic updates if this
+	// service is ever driven directly.
+	var px *proxy.Proxy
+	opts := []core.Option{
+		core.WithSeed(rngSeed),
+		core.WithDefaultConfig(core.Config(cfg)),
+		core.WithLookupMetrics(lm),
+		core.WithLookupPolicy(core.LookupPolicy{
+			Timeout:     *timeout,
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+			MaxBackoff:  time.Second,
+			Jitter:      0.5,
+			HedgeAfter:  *hedgeAfter,
+		}),
+		core.WithUpdateHook(func(key string) {
+			if px != nil {
+				px.InvalidateKey(key)
+			}
+		}),
+	}
+	if sel != nil {
+		opts = append(opts, core.WithSelector(sel))
+	}
+	svc, err := core.NewService(caller, opts...)
+	if err != nil {
+		return err
+	}
+	px = proxy.New(svc, proxy.Options{
+		CacheEntries: *cacheEntries,
+		TTL:          *cacheTTL,
+		Metrics:      pm,
+		Maintenance:  client,
+		// A committed membership change renumbers the backend: track the
+		// new member list in the transport view and selector. The proxy
+		// flushed its cache before this fires.
+		OnMembership: func(m wire.MembershipUpdate) {
+			if m.Leaving >= 0 {
+				if sel != nil {
+					sel.Resize(m.NewN)
+				}
+				client.RemoveServer(m.Leaving)
+				return
+			}
+			for client.NumServers() < m.NewN && len(m.Addrs) == m.NewN {
+				client.AddServer(m.Addrs[client.NumServers()])
+			}
+			if sel != nil {
+				sel.Resize(m.NewN)
+			}
+		},
+	})
+	reg.NewGaugeFunc("proxy.cache_entries", func() int64 { return int64(px.CacheLen()) })
+	reg.NewGaugeFunc("proxy.member_epoch", func() int64 { return int64(px.MemberEpoch()) })
+
+	srv := transport.NewServer(px)
+	bound, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("plsproxy: fronting %d servers on %s (cache %d entries, ttl %v)\n",
+		len(addrs), bound, *cacheEntries, *cacheTTL)
+
+	if *admin != "" {
+		reg.PublishExpvar("plsproxy")
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		defer adminLn.Close()
+		adminSrv := &http.Server{Handler: telemetry.AdminHandler(reg, nil)}
+		go func() { _ = adminSrv.Serve(adminLn) }()
+		defer adminSrv.Close()
+		fmt.Printf("plsproxy: admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", adminLn.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("plsproxy: shutting down")
+	return nil
+}

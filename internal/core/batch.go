@@ -49,6 +49,11 @@ func (s *Service) PlaceBatch(ctx context.Context, items []PlaceItem) []error {
 		}
 		scatter(errs, g.idxs, g.driver.PlaceBatch(ctx, s.caller, sub))
 	}
+	// Hook only after every group's acks landed: a stale cached answer
+	// must never outlive an acked batch update.
+	for _, it := range items {
+		s.fireUpdateHook(it.Key)
+	}
 	return errs
 }
 
@@ -67,6 +72,9 @@ func (s *Service) AddBatch(ctx context.Context, items []AddItem) []error {
 			sub[j] = items[i]
 		}
 		scatter(errs, g.idxs, g.driver.AddBatch(ctx, s.caller, sub))
+	}
+	for _, it := range items {
+		s.fireUpdateHook(it.Key)
 	}
 	return errs
 }

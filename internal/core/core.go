@@ -80,6 +80,11 @@ type Service struct {
 	// wrapped by a policyCaller adding retries/hedging per probe.
 	lookupCaller transport.Caller
 
+	// updateHook, when set, is called with a key after an update
+	// (Place/Add/Delete, single or batched) for it has completed — its
+	// acks observed, success or failure. See WithUpdateHook.
+	updateHook func(key string)
+
 	mu      sync.Mutex
 	rng     *stats.RNG
 	perKey  map[string]Config
@@ -139,6 +144,19 @@ func WithLookupMetrics(m *telemetry.LookupMetrics) Option {
 // enabling it never perturbs a fault-free seeded run's first probes.
 func WithSelector(sel *selector.Selector) Option {
 	return func(s *Service) { s.selector = sel }
+}
+
+// WithUpdateHook installs a callback fired once per key after an
+// update for that key finishes: only after the servers' acks have been
+// observed (or the update failed — conservatively, a failed update may
+// still have partially landed), never while the update is in flight.
+// Result-cache layers (the plsproxy front tier) hang their
+// invalidation here; the ordering guarantee is what makes "a stale
+// cached answer never outlives an acked delete" hold. The hook runs
+// synchronously on the updating goroutine and must not call back into
+// the Service.
+func WithUpdateHook(hook func(key string)) Option {
+	return func(s *Service) { s.updateHook = hook }
 }
 
 // NewService returns a service over the given transport.
@@ -243,7 +261,17 @@ func (s *Service) Place(ctx context.Context, key string, entries []Entry) error 
 			return fmt.Errorf("core: place %q: invalid empty entry", key)
 		}
 	}
-	return s.driverFor(key).Place(ctx, s.caller, key, entries)
+	err := s.driverFor(key).Place(ctx, s.caller, key, entries)
+	s.fireUpdateHook(key)
+	return err
+}
+
+// fireUpdateHook notifies the update hook after an update's acks are
+// observed (see WithUpdateHook).
+func (s *Service) fireUpdateHook(key string) {
+	if s.updateHook != nil {
+		s.updateHook(key)
+	}
 }
 
 // Add inserts one entry: add(k, v).
@@ -251,7 +279,9 @@ func (s *Service) Add(ctx context.Context, key string, v Entry) error {
 	if !v.Valid() {
 		return fmt.Errorf("core: add %q: invalid empty entry", key)
 	}
-	return s.driverFor(key).Add(ctx, s.caller, key, v)
+	err := s.driverFor(key).Add(ctx, s.caller, key, v)
+	s.fireUpdateHook(key)
+	return err
 }
 
 // Delete removes one entry: delete(k, v).
@@ -259,7 +289,9 @@ func (s *Service) Delete(ctx context.Context, key string, v Entry) error {
 	if !v.Valid() {
 		return fmt.Errorf("core: delete %q: invalid empty entry", key)
 	}
-	return s.driverFor(key).Delete(ctx, s.caller, key, v)
+	err := s.driverFor(key).Delete(ctx, s.caller, key, v)
+	s.fireUpdateHook(key)
+	return err
 }
 
 // PartialLookup retrieves at least t entries for key when possible:

@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/selector"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// gateCaller wraps a Caller and optionally parks update calls on a
+// gate, so tests can interleave a lookup while an update is in flight.
+// ackedKeys records keys whose update ack has been returned to core.
+type gateCaller struct {
+	inner transport.Caller
+	gate  chan struct{} // non-nil: updates wait here before proceeding
+
+	mu        sync.Mutex
+	ackedKeys map[string]bool
+}
+
+func newGateCaller(inner transport.Caller) *gateCaller {
+	return &gateCaller{inner: inner, ackedKeys: make(map[string]bool)}
+}
+
+func (g *gateCaller) NumServers() int { return g.inner.NumServers() }
+
+func (g *gateCaller) Call(ctx context.Context, server int, msg wire.Message) (wire.Message, error) {
+	keys := updateKeys(msg)
+	if len(keys) > 0 && g.gate != nil {
+		<-g.gate
+	}
+	reply, err := g.inner.Call(ctx, server, msg)
+	if err == nil && len(keys) > 0 {
+		g.mu.Lock()
+		for _, k := range keys {
+			g.ackedKeys[k] = true
+		}
+		g.mu.Unlock()
+	}
+	return reply, err
+}
+
+func (g *gateCaller) acked(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ackedKeys[key]
+}
+
+func updateKeys(msg wire.Message) []string {
+	switch m := msg.(type) {
+	case wire.Place:
+		return []string{m.Key}
+	case wire.Add:
+		return []string{m.Key}
+	case wire.Delete:
+		return []string{m.Key}
+	case wire.PlaceBatch:
+		keys := make([]string, len(m.Items))
+		for i, it := range m.Items {
+			keys[i] = it.Key
+		}
+		return keys
+	case wire.AddBatch:
+		keys := make([]string, len(m.Items))
+		for i, it := range m.Items {
+			keys[i] = it.Key
+		}
+		return keys
+	}
+	return nil
+}
+
+// The WithUpdateHook ordering contract: by the time the hook fires for
+// a key, the update's server acks have been observed. A result cache
+// hung on this hook therefore never invalidates before the data
+// actually changed — the window where a re-filled stale answer could
+// outlive an acked update does not exist.
+func TestUpdateHookFiresAfterAcks(t *testing.T) {
+	cl := cluster.New(4, stats.NewRNG(7))
+	gc := newGateCaller(cl.Caller())
+	var hooked []string
+	var violation atomic.Int32
+	svc, err := core.NewService(gc,
+		core.WithSeed(11),
+		core.WithDefaultConfig(core.Config{Scheme: core.RandomServer, X: 2}),
+		core.WithUpdateHook(func(key string) {
+			if !gc.acked(key) {
+				violation.Add(1)
+			}
+			hooked = append(hooked, key)
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := svc.Place(ctx, "k1", []core.Entry{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Add(ctx, "k1", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Delete(ctx, "k1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range svc.PlaceBatch(ctx, []core.PlaceItem{
+		{Key: "k2", Entries: []core.Entry{"x", "y"}},
+		{Key: "k3", Entries: []core.Entry{"z", "w"}},
+	}) {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	for _, e := range svc.AddBatch(ctx, []core.AddItem{
+		{Key: "k2", Entry: "x2"},
+		{Key: "k3", Entry: "z2"},
+	}) {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if violation.Load() != 0 {
+		t.Fatalf("update hook fired before acks %d times", violation.Load())
+	}
+	want := []string{"k1", "k1", "k1", "k2", "k3", "k2", "k3"}
+	if len(hooked) != len(want) {
+		t.Fatalf("hooked keys = %v, want %v", hooked, want)
+	}
+	for i, k := range want {
+		if hooked[i] != k {
+			t.Fatalf("hooked keys = %v, want %v", hooked, want)
+		}
+	}
+}
+
+// Linearizability-style regression for the selector route cache: a
+// lookup running concurrently with an in-flight place must not leave a
+// pre-update route in the cache once the place has been acked. The old
+// code invalidated before sending the update, so the concurrent
+// lookup's RecordAnswer re-cached the old layout and that stale route
+// survived the ack; invalidation now happens after the acks land.
+func TestStaleRouteNeverOutlivesAckedPlace(t *testing.T) {
+	cl := cluster.New(4, stats.NewRNG(7))
+	sel := selector.New(4, selector.Options{})
+	gc := newGateCaller(cl.Caller())
+	gc.gate = make(chan struct{})
+	svc, err := core.NewService(gc,
+		core.WithSeed(11),
+		core.WithDefaultConfig(core.Config{Scheme: core.RandomServer, X: 2}),
+		core.WithSelector(sel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Seed the key (gate open for the setup place).
+	close(gc.gate)
+	if err := svc.Place(ctx, "k", []core.Entry{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-place with the update parked on a fresh gate.
+	gc.gate = make(chan struct{})
+	placeDone := make(chan error, 1)
+	go func() {
+		placeDone <- svc.Place(ctx, "k", []core.Entry{"d", "e", "f"})
+	}()
+
+	// While the place is in flight, a lookup probes and warms the route
+	// cache with the OLD layout.
+	if _, err := svc.PartialLookup(ctx, "k", 2); err != nil {
+		t.Fatal(err)
+	}
+	if sel.CachedKeys() == 0 {
+		t.Fatal("test harness: concurrent lookup did not warm the cache")
+	}
+
+	// Release the update; once its ack is observed the stale route must
+	// be gone.
+	close(gc.gate)
+	if err := <-placeDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.CachedKeys(); got != 0 {
+		t.Fatalf("%d stale cached route(s) survived the acked place", got)
+	}
+}

@@ -123,21 +123,20 @@ func (s *Selector) N() int {
 
 // Resize re-sizes the scoreboard after a membership change. Growth
 // (a join: existing ids are stable) appends cold rows and keeps the
-// accumulated signal; shrinkage (a drain: higher ids shifted down)
-// resets the scoreboard, since per-id signal would be misattributed to
-// the wrong servers. Either way the routing cache is dropped — cached
-// server ids are stale the moment the member list changes — and the
-// failure epoch advances so epoch-gated repair sweeps rescan under the
-// new topology.
+// accumulated signal; any other transition — shrinkage (a drain:
+// higher ids shifted down) or a same-size renumbering (a drain paired
+// with a join, or an id compaction) — resets the scoreboard, since
+// per-id signal would be misattributed to the wrong servers. Every
+// call, including same-n, drops the routing cache — cached server ids
+// are stale the moment the member list changes, whether or not its
+// length did — and advances the failure epoch so epoch-gated repair
+// sweeps rescan under the new topology.
 func (s *Selector) Resize(n int) {
 	if n <= 0 {
 		panic(fmt.Sprintf("selector: Resize requires n > 0, got %d", n))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n == len(s.servers) {
-		return
-	}
 	if n > len(s.servers) {
 		grown := make([]serverState, n)
 		copy(grown, s.servers)

@@ -213,6 +213,48 @@ func TestInvalidateDropsKey(t *testing.T) {
 	}
 }
 
+// Regression: after a membership resize — including a same-n
+// renumbering, where a drain+join leave the cluster size unchanged but
+// every id above the leaver now names a different server — the warm
+// route cache must be flushed. A surviving cached entry would route a
+// key's first probe to a renumbered slot.
+func TestResizeFlushesRouteCacheOnRenumber(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		from int
+		to   int
+	}{
+		{"shrink", 5, 4},
+		{"same-n renumber", 5, 5},
+		{"grow", 5, 6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.from, Options{})
+			// Warm the cache: server 4 (the highest slot — the one a drain
+			// renumbers or removes) answered key k with a fat answer, and
+			// server 1 answered empty.
+			s.RecordAnswer("k", 4, 9)
+			s.RecordAnswer("k", 1, 0)
+			if got := s.Order("k", base(tc.from))[0]; got != 4 {
+				t.Fatalf("warm cache order leads with %d, want 4", got)
+			}
+			epochBefore := s.FailureEpoch()
+			s.Resize(tc.to)
+			if got := s.CachedKeys(); got != 0 {
+				t.Fatalf("%d keys survived Resize(%d→%d), want 0", got, tc.from, tc.to)
+			}
+			// The cache no longer votes: order over the new id space is the
+			// seeded base untouched, so no probe targets a renumbered slot.
+			if got := s.Order("k", base(tc.to)); !reflect.DeepEqual(got, base(tc.to)) {
+				t.Fatalf("post-resize order = %v, want identity", got)
+			}
+			if got := s.FailureEpoch(); got <= epochBefore {
+				t.Fatalf("FailureEpoch did not advance across Resize: %d -> %d", epochBefore, got)
+			}
+		})
+	}
+}
+
 // scriptCaller fails or succeeds per server for the observe middleware.
 type scriptCaller struct {
 	n    int

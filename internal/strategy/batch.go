@@ -40,7 +40,6 @@ func (d *Driver) PlaceBatch(ctx context.Context, c transport.Caller, items []Pla
 	}
 	wireItems := make([]wire.Place, len(items))
 	for i, it := range items {
-		d.sel.Invalidate(it.Key)
 		wireItems[i] = wire.Place{Key: it.Key, Config: d.cfg, Entries: toStrings(it.Entries)}
 	}
 	d.sendBatches(ctx, c, errs, func(idxs []int) wire.Message {
@@ -50,6 +49,11 @@ func (d *Driver) PlaceBatch(ctx context.Context, c transport.Caller, items []Pla
 		}
 		return wire.PlaceBatch{Items: sub}
 	}, keyOfPlace(items))
+	// Invalidate after the acks land, not while the envelopes are still
+	// in flight (a concurrent lookup could re-cache the old layout).
+	for _, it := range items {
+		d.sel.Invalidate(it.Key)
+	}
 	return errs
 }
 
@@ -63,7 +67,6 @@ func (d *Driver) AddBatch(ctx context.Context, c transport.Caller, items []AddIt
 	}
 	wireItems := make([]wire.Add, len(items))
 	for i, it := range items {
-		d.sel.InvalidateNegatives(it.Key)
 		wireItems[i] = wire.Add{Key: it.Key, Config: d.cfg, Entry: string(it.Entry)}
 	}
 	d.sendBatches(ctx, c, errs, func(idxs []int) wire.Message {
@@ -73,6 +76,10 @@ func (d *Driver) AddBatch(ctx context.Context, c transport.Caller, items []AddIt
 		}
 		return wire.AddBatch{Items: sub}
 	}, keyOfAdd(items))
+	// Negatives drop only after the acks (see PlaceBatch).
+	for _, it := range items {
+		d.sel.InvalidateNegatives(it.Key)
+	}
 	return errs
 }
 
@@ -288,7 +295,7 @@ func (d *Driver) PartialLookupBatch(ctx context.Context, c transport.Caller, key
 		}
 		seen := make([]map[entry.Entry]struct{}, len(keys))
 		for i := range seen {
-			seen[i] = make(map[entry.Entry]struct{}, t)
+			seen[i] = make(map[entry.Entry]struct{}, seenSizeHint(t))
 		}
 		reached := false
 		for _, server := range d.orderPending(keys, c.NumServers()) {

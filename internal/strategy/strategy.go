@@ -117,25 +117,33 @@ func (d *Driver) Place(ctx context.Context, c transport.Caller, key string, entr
 	if err := d.cfg.Validate(c.NumServers()); err != nil {
 		return err
 	}
-	// A place rewrites the key's whole layout: any cached route is void.
-	d.sel.Invalidate(key)
 	msg := wire.Place{Key: key, Config: d.cfg, Entries: toStrings(entries)}
-	return d.sendUpdate(ctx, c, msg)
+	err := d.sendUpdate(ctx, c, msg)
+	// A place rewrites the key's whole layout: any cached route is void.
+	// Invalidate AFTER the server acks (and conservatively on error —
+	// the update may have partially landed): invalidating before the
+	// send opens a window where a concurrent lookup re-caches the old
+	// layout and the stale route outlives the acked update.
+	d.sel.Invalidate(key)
+	return err
 }
 
 // Add executes add(k, v).
 func (d *Driver) Add(ctx context.Context, c transport.Caller, key string, v entry.Entry) error {
-	// The new entry may land on a server the cache marked empty.
+	err := d.sendUpdate(ctx, c, wire.Add{Key: key, Config: d.cfg, Entry: string(v)})
+	// The new entry may land on a server the cache marked empty; drop
+	// negatives only after the ack (see Place for the ordering rationale).
 	d.sel.InvalidateNegatives(key)
-	return d.sendUpdate(ctx, c, wire.Add{Key: key, Config: d.cfg, Entry: string(v)})
+	return err
 }
 
 // Delete executes delete(k, v).
 func (d *Driver) Delete(ctx context.Context, c transport.Caller, key string, v entry.Entry) error {
+	err := d.sendUpdate(ctx, c, wire.Delete{Key: key, Config: d.cfg, Entry: string(v)})
 	// Deletes shift which servers hold entries; drop stale negatives so
-	// probing re-learns the layout.
+	// probing re-learns the layout — after the ack, never before.
 	d.sel.InvalidateNegatives(key)
-	return d.sendUpdate(ctx, c, wire.Delete{Key: key, Config: d.cfg, Entry: string(v)})
+	return err
 }
 
 // sendUpdate routes an update to its initial server: a random live
@@ -277,7 +285,7 @@ func (d *Driver) lookupSingle(ctx context.Context, c transport.Caller, key strin
 // and Hash-y rule.
 func (d *Driver) lookupRandomOrder(ctx context.Context, c transport.Caller, key string, t int) (Result, error) {
 	var res Result
-	seen := make(map[entry.Entry]struct{}, t)
+	seen := make(map[entry.Entry]struct{}, seenSizeHint(t))
 	reached := false
 	for _, server := range d.orderFor(key, c.NumServers()) {
 		if err := ctx.Err(); err != nil {
@@ -313,7 +321,7 @@ func (d *Driver) lookupRoundRobin(ctx context.Context, c transport.Caller, key s
 	var res Result
 	n := c.NumServers()
 	y := d.cfg.Y
-	seen := make(map[entry.Entry]struct{}, t)
+	seen := make(map[entry.Entry]struct{}, seenSizeHint(t))
 	tried := make([]bool, n)
 	reached := false
 
@@ -423,6 +431,18 @@ func (d *Driver) probe(ctx context.Context, c transport.Caller, server int, key 
 	// many entries (zero is a negative verdict).
 	d.sel.RecordAnswer(key, server, len(out))
 	return out, nil
+}
+
+// seenSizeHint bounds the size hint for per-lookup dedup maps. t
+// arrives off the wire, so a hostile or corrupted value must not
+// translate into an arbitrarily large up-front allocation; the map
+// still grows past the hint if a lookup really returns that much.
+func seenSizeHint(t int) int {
+	const max = 1 << 10
+	if t > max {
+		return max
+	}
+	return t
 }
 
 func toStrings(entries []entry.Entry) []string {

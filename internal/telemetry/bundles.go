@@ -349,6 +349,115 @@ func (m *WALMetrics) RecordSnapshot(d time.Duration, bytes int64, at time.Time) 
 	m.lastSnapshot.Set(at.UnixNano())
 }
 
+// ProxyMetrics instruments the plsproxy front tier (internal/proxy):
+// result-cache effectiveness, singleflight coalescing, and the
+// invalidation feed. All record methods are nil-receiver safe.
+type ProxyMetrics struct {
+	// Lookups counts client lookups terminated by the proxy (batch
+	// items each count). CacheHits answered straight from the result
+	// cache; CacheExpired found an entry past its TTL (counted also as
+	// a miss); CacheMisses went to the backing service.
+	Lookups      *Counter
+	CacheHits    *Counter
+	CacheMisses  *Counter
+	CacheExpired *Counter
+	// Coalesced counts lookups that joined another caller's in-flight
+	// flight instead of probing the cluster themselves; Flights counts
+	// flights actually flown (leaders). Coalesced/(Coalesced+Flights)
+	// is the hot-key collapse ratio.
+	Coalesced *Counter
+	Flights   *Counter
+	// Invalidations counts per-key cache invalidations fired by
+	// add/delete/place acks; EpochFlushes counts whole-cache flushes on
+	// membership-epoch changes. StaleFills counts completed flights
+	// whose result was discarded instead of cached because an
+	// invalidation raced the flight (the stale-fill guard).
+	Invalidations *Counter
+	EpochFlushes  *Counter
+	StaleFills    *Counter
+	// Updates counts add/delete/place operations proxied through to the
+	// backing service.
+	Updates *Counter
+}
+
+// NewProxyMetrics registers proxy metrics under "proxy.".
+func NewProxyMetrics(r *Registry) *ProxyMetrics {
+	return &ProxyMetrics{
+		Lookups:       r.NewCounter("proxy.lookups"),
+		CacheHits:     r.NewCounter("proxy.cache_hits"),
+		CacheMisses:   r.NewCounter("proxy.cache_misses"),
+		CacheExpired:  r.NewCounter("proxy.cache_expired"),
+		Coalesced:     r.NewCounter("proxy.coalesced"),
+		Flights:       r.NewCounter("proxy.flights"),
+		Invalidations: r.NewCounter("proxy.invalidations"),
+		EpochFlushes:  r.NewCounter("proxy.epoch_flushes"),
+		StaleFills:    r.NewCounter("proxy.stale_fills"),
+		Updates:       r.NewCounter("proxy.updates"),
+	}
+}
+
+// RecordLookup records one proxied lookup's cache outcome.
+func (m *ProxyMetrics) RecordLookup(hit, expired bool) {
+	if m == nil {
+		return
+	}
+	m.Lookups.Inc()
+	if hit {
+		m.CacheHits.Inc()
+		return
+	}
+	if expired {
+		m.CacheExpired.Inc()
+	}
+	m.CacheMisses.Inc()
+}
+
+// RecordFlight counts one flight flown by a leader (coalesced=false)
+// or joined by a follower (coalesced=true).
+func (m *ProxyMetrics) RecordFlight(coalesced bool) {
+	if m == nil {
+		return
+	}
+	if coalesced {
+		m.Coalesced.Inc()
+		return
+	}
+	m.Flights.Inc()
+}
+
+// RecordInvalidation counts one per-key invalidation.
+func (m *ProxyMetrics) RecordInvalidation() {
+	if m == nil {
+		return
+	}
+	m.Invalidations.Inc()
+}
+
+// RecordEpochFlush counts one whole-cache membership flush.
+func (m *ProxyMetrics) RecordEpochFlush() {
+	if m == nil {
+		return
+	}
+	m.EpochFlushes.Inc()
+}
+
+// RecordStaleFill counts one flight result discarded by the
+// stale-fill guard.
+func (m *ProxyMetrics) RecordStaleFill() {
+	if m == nil {
+		return
+	}
+	m.StaleFills.Inc()
+}
+
+// RecordUpdate counts one proxied update operation.
+func (m *ProxyMetrics) RecordUpdate() {
+	if m == nil {
+		return
+	}
+	m.Updates.Inc()
+}
+
 // RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap
 // bytes, GC cycles) under "go.", evaluated at snapshot time.
 func RegisterRuntimeMetrics(r *Registry) {

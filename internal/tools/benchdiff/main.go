@@ -11,9 +11,10 @@
 // The report kind is sniffed from its fields — BENCH_node.json
 // (sharded/coarse lookup ops_per_sec, batch keys_per_sec),
 // BENCH_wal.json (volatile plus per-fsync-policy acked-mutation
-// ops_per_sec), and BENCH_core.json (full-stack lookup ops_per_sec per
+// ops_per_sec), BENCH_core.json (full-stack lookup ops_per_sec per
 // swept GOMAXPROCS, plus the mux-transport and epoch-store toggle
-// arms) are understood. Only throughput metrics are gated — latency
+// arms), and BENCH_proxy.json (direct and proxy-arm saturation rates
+// from the open-loop sweep) are understood. Only throughput metrics are gated — latency
 // percentiles and allocation counts in the reports are informational
 // here (allocations have their own hard gates in internal/wire's
 // tests). Refresh a baseline by regenerating the report on a quiet
@@ -75,6 +76,17 @@ type coreReport struct {
 	} `json:"store_epoch"`
 }
 
+// proxyReport mirrors the throughput-bearing subset of
+// BENCH_proxy.json.
+type proxyReport struct {
+	DirectSaturationOps float64 `json:"direct_saturation_ops"`
+	ProxySaturationOps  float64 `json:"proxy_saturation_ops"`
+	Proxy               []struct {
+		OfferedPerSec  float64 `json:"offered_per_sec"`
+		AchievedPerSec float64 `json:"achieved_per_sec"`
+	} `json:"proxy"`
+}
+
 // extract sniffs the report kind from its top-level fields and returns
 // its throughput metrics. Unknown shapes are an error, not a silent
 // pass: a renamed field must not disarm the gate.
@@ -112,6 +124,19 @@ func extract(path string) ([]metric, error) {
 			metric{"core.store_epoch.ops_per_sec", r.StoreEpoch.OpsPerSec},
 		)
 		return ms, nil
+	case probe["proxy_saturation_ops"] != nil:
+		var r proxyReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		ms := []metric{
+			{"proxy.direct_saturation_ops", r.DirectSaturationOps},
+			{"proxy.proxy_saturation_ops", r.ProxySaturationOps},
+		}
+		if n := len(r.Proxy); n > 0 {
+			ms = append(ms, metric{"proxy.top_rate_achieved_per_sec", r.Proxy[n-1].AchievedPerSec})
+		}
+		return ms, nil
 	case probe["volatile"] != nil:
 		var r walReport
 		if err := json.Unmarshal(data, &r); err != nil {
@@ -123,7 +148,7 @@ func extract(path string) ([]metric, error) {
 		}
 		return ms, nil
 	}
-	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json, BENCH_wal.json, or BENCH_core.json fields)", path)
+	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json, BENCH_wal.json, BENCH_core.json, or BENCH_proxy.json fields)", path)
 }
 
 // diff compares current against baseline metrics by name and returns

@@ -190,6 +190,13 @@ func dialMux(ctx context.Context, addr string, timeout time.Duration) (*muxConn,
 	if err != nil {
 		return nil, err
 	}
+	return newMuxConn(conn), nil
+}
+
+// newMuxConn wraps an established connection with the writer and demux
+// reader goroutines. Split from dialMux so tests can drive a muxConn
+// over an in-memory pipe.
+func newMuxConn(conn net.Conn) *muxConn {
 	mc := &muxConn{
 		conn:    conn,
 		writeCh: make(chan *[]byte, 64),
@@ -198,7 +205,7 @@ func dialMux(ctx context.Context, addr string, timeout time.Duration) (*muxConn,
 	}
 	go mc.writeLoop()
 	go mc.readLoop()
-	return mc, nil
+	return mc
 }
 
 // register files a reply channel under a fresh id, failing if the
@@ -244,13 +251,29 @@ func (mc *muxConn) fail(err error) {
 	close(mc.done)
 	mc.conn.Close()
 	for _, ch := range pending {
-		ch <- muxResult{err: err}
+		// Non-blocking for the same reason as the demux loop: one
+		// buffered slot per registration, at most one send ever happens.
+		select {
+		case ch <- muxResult{err: err}:
+		default:
+		}
 	}
 }
 
+// errEnqueueStalled reports a frame that could not even reach the write
+// queue within the per-call timeout: the writer goroutine is wedged on a
+// conn.Write the peer is not draining, with the queue full behind it.
+// Call maps it to requestTimeoutError (the connection itself may still
+// recover once the peer reads).
+var errEnqueueStalled = errors.New("transport: write queue stalled")
+
 // enqueue hands one encoded frame to the writer goroutine. The buffer
-// is returned to the frame pool after the write.
-func (mc *muxConn) enqueue(buf *[]byte) error {
+// is returned to the frame pool after the write — or immediately, on
+// any path that fails to queue it. A full queue does not block
+// indefinitely: the caller's context and per-call timer are honored, so
+// a cancelled or timed-out call always returns (and can deregister its
+// pending id) even while the writer is stuck on a stalled peer.
+func (mc *muxConn) enqueue(ctx context.Context, timeout <-chan time.Time, buf *[]byte) error {
 	select {
 	case mc.writeCh <- buf:
 		return nil
@@ -260,6 +283,12 @@ func (mc *muxConn) enqueue(buf *[]byte) error {
 		err := mc.deadErr
 		mc.pmu.Unlock()
 		return err
+	case <-ctx.Done():
+		putFrameBuf(buf)
+		return ctx.Err()
+	case <-timeout:
+		putFrameBuf(buf)
+		return errEnqueueStalled
 	}
 }
 
@@ -358,7 +387,13 @@ func (mc *muxConn) readLoop() {
 		}
 		mc.pmu.Unlock()
 		if ok {
-			ch <- muxResult{msg: msg}
+			// Non-blocking: each id's channel is buffered for the single
+			// reply it can receive (registration is deleted under pmu before
+			// any send), so a stuck receiver can never wedge the demux loop.
+			select {
+			case ch <- muxResult{msg: msg}:
+			default:
+			}
 		}
 		// Unknown id: the call timed out or was cancelled and
 		// deregistered itself; the late reply is dropped.
@@ -466,13 +501,23 @@ func (c *Client) Call(ctx context.Context, server int, msg wire.Message) (wire.M
 	}
 	buf := getFrameBuf()
 	*buf = wire.AppendFrameV2((*buf)[:0], id, msg)
-	if err := mc.enqueue(buf); err != nil {
-		mc.deregister(id)
-		return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
-	}
-
 	timer := time.NewTimer(c.timeout)
 	defer timer.Stop()
+	if err := mc.enqueue(ctx, timer.C, buf); err != nil {
+		// Every enqueue failure abandons the registration before
+		// returning; a late reply for the id is dropped by the demux loop.
+		mc.deregister(id)
+		switch {
+		case err == errEnqueueStalled:
+			return nil, &requestTimeoutError{server: server, d: c.timeout}
+		case ctx.Err() != nil && err == ctx.Err():
+			// The caller's deadline, not the server's fault: reported
+			// unwrapped so policy layers never retry it.
+			return nil, err
+		default:
+			return nil, fmt.Errorf("%w: %v", ErrServerDown, err)
+		}
+	}
 	select {
 	case res := <-ch:
 		if res.err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -231,5 +232,115 @@ func TestMuxPipelinesOnOneConn(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 290*time.Millisecond {
 		t.Fatalf("two pipelined 150ms requests took %v: they serialized instead of overlapping", elapsed)
+	}
+}
+
+// plantPipeConn backs server 0 of a client with an in-memory pipe whose
+// far side never reads or writes: the writer goroutine wedges on its
+// first conn.Write, the write queue fills behind it, and later enqueues
+// must rely on ctx/timer arms to escape. Returns the planted muxConn
+// and the far end (close it to release the wedged writer).
+func plantPipeConn(t *testing.T, c *Client) (*muxConn, net.Conn) {
+	t.Helper()
+	near, far := net.Pipe()
+	mc := newMuxConn(near)
+	c.mu.Lock()
+	c.peers[0].slots[0].mc = mc
+	c.mu.Unlock()
+	return mc, far
+}
+
+// TestCancelDuringEnqueueReleasesRegistration is the -race regression
+// for the leaked pending-request bug: with the writer stuck on a peer
+// that never reads and the write queue full, a cancelled Call used to
+// block forever inside enqueue — holding its registration, invisible to
+// timeout and cancellation alike. Now every call must return promptly
+// with its context error (unwrapped, per the failure taxonomy) or a
+// timeout, and the pending map must drain to empty.
+func TestCancelDuringEnqueueReleasesRegistration(t *testing.T) {
+	client := NewClient([]string{"pipe:unused"}, WithMuxConns(1), WithTimeout(2*time.Second))
+	defer client.Close()
+	mc, far := plantPipeConn(t, client)
+	defer far.Close()
+
+	const callers = 128
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	start := time.Now()
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			if g%4 == 0 {
+				cancel() // pre-cancelled: must not even linger
+			} else {
+				go func() {
+					time.Sleep(time.Duration(g%16) * time.Millisecond)
+					cancel()
+				}()
+			}
+			defer cancel()
+			_, errs[g] = client.Call(ctx, 0, wire.Lookup{Key: fmt.Sprintf("k%d", g), T: 1})
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("calls did not return: enqueue ignored cancellation with the write queue full")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled calls took %v to return", elapsed)
+	}
+	for g, err := range errs {
+		if err == nil {
+			t.Fatalf("call %d succeeded against a peer that never replies", g)
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrServerDown) {
+			t.Fatalf("call %d error %v; want context.Canceled or the timeout taxonomy", g, err)
+		}
+	}
+	mc.pmu.Lock()
+	leaked := len(mc.pending)
+	mc.pmu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d pending registrations leaked after every call returned", leaked)
+	}
+}
+
+// TestEnqueueStallMapsToRequestTimeout: when the write queue cannot
+// accept a frame within the per-call timeout (and the caller's context
+// stays live), the call must fail like a request timeout — matching
+// both ErrRequestTimeout and ErrServerDown so retry policies treat the
+// stalled peer as failed — and must release its registration.
+func TestEnqueueStallMapsToRequestTimeout(t *testing.T) {
+	client := NewClient([]string{"pipe:unused"}, WithMuxConns(1), WithTimeout(200*time.Millisecond))
+	defer client.Close()
+	mc, far := plantPipeConn(t, client)
+	defer far.Close()
+
+	// Wedge the writer and fill the queue: one frame in conn.Write,
+	// cap(writeCh) more queued behind it.
+	for i := 0; i < cap(mc.writeCh)+1; i++ {
+		buf := getFrameBuf()
+		*buf = wire.AppendFrameV2((*buf)[:0], uint64(i)+1000, wire.Ping{})
+		select {
+		case mc.writeCh <- buf:
+		default:
+			putFrameBuf(buf)
+		}
+	}
+
+	_, err := client.Call(context.Background(), 0, wire.Lookup{Key: "stalled", T: 1})
+	if !errors.Is(err, ErrRequestTimeout) || !errors.Is(err, ErrServerDown) {
+		t.Fatalf("stalled enqueue returned %v; want the request-timeout taxonomy", err)
+	}
+	mc.pmu.Lock()
+	leaked := len(mc.pending)
+	mc.pmu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d pending registrations leaked after a stalled call", leaked)
 	}
 }
