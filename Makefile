@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench core-bench proxy-bench reproduce reproduce-full examples clean
+.PHONY: all build test race lint cover bench select-bench wal-bench repair-bench membership-bench core-bench proxy-bench zone-bench reproduce reproduce-full examples clean
 
 all: build test
 
@@ -71,6 +71,12 @@ core-bench:
 # hot-key p99, cache hit rate (BENCH_proxy.json).
 proxy-bench:
 	$(GO) run ./cmd/plsbench -proxy-bench BENCH_proxy.json
+
+# Zone placement comparison: spread on vs off on a rack/DC/region
+# topology — availability under every single-zone partition, partition
+# survival lookups, cross-DC hop cost (BENCH_zone.json).
+zone-bench:
+	$(GO) run ./cmd/plsbench -zone-bench BENCH_zone.json
 
 # Regenerate every table and figure at interactive fidelity (~2 min).
 reproduce:

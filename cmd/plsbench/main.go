@@ -12,6 +12,7 @@
 //	plsbench -membership-bench BENCH_membership.json [-membership-bench-rounds 6]
 //	plsbench -core-bench BENCH_core.json [-core-bench-window 2s]
 //	plsbench -proxy-bench BENCH_proxy.json [-proxy-bench-window 1500ms]
+//	plsbench -zone-bench BENCH_zone.json
 //
 // The second form skips the paper experiments and instead measures one
 // node's lookup throughput under the sharded store versus a
@@ -77,6 +78,7 @@ func run() error {
 		coreWin  = flag.Duration("core-bench-window", 2*time.Second, "measurement window per core-bench arm")
 		proxyOut = flag.String("proxy-bench", "", "run the open-loop Zipf direct-vs-proxy load sweep instead of experiments and write BENCH_proxy.json-style output to this file")
 		proxyWin = flag.Duration("proxy-bench-window", 1500*time.Millisecond, "measurement window per proxy-bench rate point")
+		zoneOut  = flag.String("zone-bench", "", "run the zone-spread on/off availability comparison instead of experiments and write BENCH_zone.json-style output to this file")
 	)
 	flag.Parse()
 
@@ -100,6 +102,9 @@ func run() error {
 	}
 	if *proxyOut != "" {
 		return runProxyBench(*proxyOut, *proxyWin)
+	}
+	if *zoneOut != "" {
+		return runZoneBench(*zoneOut)
 	}
 
 	var fid bench.Fidelity

@@ -1,0 +1,354 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/cluster"
+	"repro/internal/entry"
+	"repro/internal/node"
+	"repro/internal/selector"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// Zone placement benchmark (-zone-bench): the same seeded Hash-y
+// workload on the same rack/DC/region topology, placed twice — once
+// with plain hash assignment (spread off) and once with zone-spread
+// placement — then measured three ways:
+//
+//   - availability: over every single zone z (every rack, DC, and
+//     region) and every placed entry, does the entry keep at least one
+//     home outside z? Spread-on must score 1.0 — SpreadAssign
+//     guarantees no single zone holds all of an entry's copies — while
+//     spread-off demonstrably loses entries (all y hash homes landing
+//     in one zone) and usually whole keys.
+//   - partition survival: actually partition the worst zone the scan
+//     found and drive real lookups from an out-of-zone client; report
+//     the satisfied fraction and mean achieved answer size.
+//   - locality cost: the hop-distance distribution of a seeded lookup
+//     workload in the healthy cluster — what zone-spreading pays in
+//     cross-DC traffic to buy its availability.
+//
+// The run also re-checks cold-path byte-identity — a cluster with the
+// topology attached but spread off, no client zone, and a zero latency
+// profile must answer a seeded workload exactly like a topology-free
+// twin — and fails loudly if it drifts. The report (BENCH_zone.json,
+// sniffed by benchdiff via its zone_arms field) is machine-readable
+// for CI's trajectory gate.
+
+const (
+	zoneBenchTopo    = "3x2x2" // 3 regions x 2 DCs x 2 racks = 12 racks
+	zoneBenchServers = 24
+	zoneBenchKeys    = 48
+	zoneBenchEntries = 12
+	zoneBenchY       = 3
+	zoneBenchT       = 8
+	zoneBenchLookups = 384
+	zoneBenchClient  = "r0/d0/k0"
+	zoneBenchSeed    = 1
+)
+
+type zoneArmReport struct {
+	Spread bool `json:"spread"`
+
+	// Availability scan over every zone at every depth.
+	Availability   float64 `json:"availability"`
+	EntriesAtRisk  int     `json:"entries_at_risk"`
+	KeysFullyLost  int     `json:"keys_fully_lost"`
+	WorstZone      string  `json:"worst_zone"`
+	WorstZoneAvail float64 `json:"worst_zone_availability"`
+
+	// Healthy-cluster lookup workload.
+	SatisfiedFrac  float64           `json:"satisfied_frac"`
+	ContactedMean  float64           `json:"contacted_mean"`
+	Hops           map[string]uint64 `json:"hops"`
+	CrossDCHopFrac float64           `json:"cross_dc_hop_fraction"`
+
+	// Lookups with the worst client-external zone actually partitioned.
+	PartitionedZone        string  `json:"partitioned_zone"`
+	PartitionSatisfiedFrac float64 `json:"partition_satisfied_frac"`
+	PartitionAchievedMean  float64 `json:"partition_achieved_mean"`
+}
+
+type zoneBenchReport struct {
+	Topology      string `json:"topology"`
+	Servers       int    `json:"servers"`
+	Keys          int    `json:"keys"`
+	EntriesPerKey int    `json:"entries_per_key"`
+	Y             int    `json:"y"`
+	LookupT       int    `json:"lookup_t"`
+	ClientZone    string `json:"client_zone"`
+
+	Arms []zoneArmReport `json:"zone_arms"`
+
+	ColdPathIdentical bool   `json:"cold_path_identical"`
+	Note              string `json:"note"`
+}
+
+func zoneBenchKey(k int) string { return fmt.Sprintf("zb-k%03d", k) }
+
+func zoneBenchEntry(k, i int) string { return fmt.Sprintf("zb-k%03d-v%02d", k, i) }
+
+// runZoneArm places the population under cfg and measures one arm.
+func runZoneArm(cfg wire.Config) (zoneArmReport, error) {
+	arm := zoneArmReport{Spread: cfg.ZoneSpread}
+	rng := stats.NewRNG(zoneBenchSeed)
+	cl := cluster.New(zoneBenchServers, rng.Split())
+	tp, err := topo.Parse(zoneBenchTopo, zoneBenchServers)
+	if err != nil {
+		return arm, err
+	}
+	if err := cl.SetTopology(tp); err != nil {
+		return arm, err
+	}
+	cl.Chaos().SetClientZone(zoneBenchClient)
+	drv, err := strategy.New(cfg, rng.Split())
+	if err != nil {
+		return arm, err
+	}
+	sel := selector.New(zoneBenchServers, selector.Options{})
+	sel.SetTopology(tp, zoneBenchClient)
+	drv.SetSelector(sel)
+	caller := selector.Observe(cl.Caller(), sel)
+	ctx := context.Background()
+
+	for k := 0; k < zoneBenchKeys; k++ {
+		entries := make([]entry.Entry, zoneBenchEntries)
+		for i := range entries {
+			entries[i] = entry.Entry(zoneBenchEntry(k, i))
+		}
+		if err := drv.Place(ctx, caller, zoneBenchKey(k), entries); err != nil {
+			return arm, fmt.Errorf("zone-bench place %s: %w", zoneBenchKey(k), err)
+		}
+	}
+
+	// Availability scan: every zone at every depth, every entry.
+	var spreadTP *topo.Topology
+	if cfg.ZoneSpread {
+		spreadTP = tp
+	}
+	totalPairs, atRisk := 0, 0
+	worstAvail, worstZone := 1.1, ""
+	partAvail, partZone := 1.1, ""
+	for depth := 1; depth <= 3; depth++ {
+		for _, z := range tp.Zones(depth) {
+			lostHere, keyLost := 0, 0
+			for k := 0; k < zoneBenchKeys; k++ {
+				keyReachable := false
+				for i := 0; i < zoneBenchEntries; i++ {
+					totalPairs++
+					survives := false
+					for _, home := range node.HomesFor(zoneBenchEntry(k, i), cfg, zoneBenchServers, spreadTP) {
+						if !tp.InZone(home, z) {
+							survives = true
+							break
+						}
+					}
+					if survives {
+						keyReachable = true
+					} else {
+						atRisk++
+						lostHere++
+					}
+				}
+				if !keyReachable {
+					keyLost++
+				}
+			}
+			arm.KeysFullyLost += keyLost
+			avail := 1 - float64(lostHere)/float64(zoneBenchKeys*zoneBenchEntries)
+			if avail < worstAvail {
+				worstAvail, worstZone = avail, z
+			}
+			if avail < partAvail && !topo.Within(zoneBenchClient, z) {
+				partAvail, partZone = avail, z
+			}
+		}
+	}
+	arm.Availability = 1 - float64(atRisk)/float64(totalPairs)
+	arm.EntriesAtRisk = atRisk
+	arm.WorstZoneAvail = worstAvail
+	arm.WorstZone = worstZone
+
+	// Healthy-cluster lookup workload: hop distribution + satisfaction.
+	cl.Chaos().ResetZoneCalls()
+	satisfied := 0
+	var contacted stats.Summary
+	for i := 0; i < zoneBenchLookups; i++ {
+		key := zoneBenchKey(i % zoneBenchKeys)
+		res, err := drv.PartialLookup(ctx, caller, key, zoneBenchT)
+		if err != nil {
+			return arm, fmt.Errorf("zone-bench lookup %s: %w", key, err)
+		}
+		if res.Satisfied(zoneBenchT) {
+			satisfied++
+		}
+		contacted.Observe(float64(res.Contacted))
+	}
+	arm.SatisfiedFrac = float64(satisfied) / zoneBenchLookups
+	arm.ContactedMean = contacted.Mean()
+	zc := cl.Chaos().ZoneCalls()
+	labels := [topo.NumDistances]string{"same_rack", "same_dc", "same_region", "cross_region"}
+	arm.Hops = make(map[string]uint64, len(labels))
+	var total, crossDC uint64
+	for d, c := range zc {
+		arm.Hops[labels[d]] = c
+		total += c
+		if d >= topo.DistSameRegion {
+			crossDC += c
+		}
+	}
+	if total > 0 {
+		arm.CrossDCHopFrac = float64(crossDC) / float64(total)
+	}
+
+	// Partition the worst zone among those NOT enclosing the client —
+	// the survival question is asked from outside — and rerun the
+	// lookups for real.
+	pz := partZone
+	arm.PartitionedZone = pz
+	cl.Chaos().PartitionZone(pz)
+	satisfied = 0
+	var achieved stats.Summary
+	for k := 0; k < zoneBenchKeys; k++ {
+		res, err := drv.PartialLookup(ctx, caller, zoneBenchKey(k), zoneBenchT)
+		if err != nil {
+			achieved.Observe(0)
+			continue
+		}
+		if res.Satisfied(zoneBenchT) {
+			satisfied++
+		}
+		achieved.Observe(float64(len(res.Entries)))
+	}
+	cl.Chaos().HealZone(pz)
+	arm.PartitionSatisfiedFrac = float64(satisfied) / zoneBenchKeys
+	arm.PartitionAchievedMean = achieved.Mean()
+	return arm, nil
+}
+
+// checkZoneColdPathIdentity drives the same seeded workload against a
+// topology-free cluster and a twin with the topology attached (spread
+// off, no client zone, zero profiles) and requires byte-identical
+// answers: attaching a quiet topology must change nothing.
+func checkZoneColdPathIdentity() error {
+	run := func(withTopo bool) ([][]string, error) {
+		rng := stats.NewRNG(zoneBenchSeed)
+		cl := cluster.New(zoneBenchServers, rng.Split())
+		if withTopo {
+			tp, err := topo.Parse(zoneBenchTopo, zoneBenchServers)
+			if err != nil {
+				return nil, err
+			}
+			if err := cl.SetTopology(tp); err != nil {
+				return nil, err
+			}
+		}
+		cfg := wire.Config{Scheme: wire.Hash, Y: zoneBenchY, Seed: 42}
+		drv, err := strategy.New(cfg, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		var out [][]string
+		for k := 0; k < 8; k++ {
+			entries := make([]entry.Entry, zoneBenchEntries)
+			for i := range entries {
+				entries[i] = entry.Entry(zoneBenchEntry(k, i))
+			}
+			if err := drv.Place(ctx, cl.Caller(), zoneBenchKey(k), entries); err != nil {
+				return nil, err
+			}
+		}
+		for round := 0; round < 3; round++ {
+			for k := 0; k < 8; k++ {
+				res, err := drv.PartialLookup(ctx, cl.Caller(), zoneBenchKey(k), zoneBenchT)
+				if err != nil {
+					return nil, err
+				}
+				row := make([]string, len(res.Entries))
+				for i, e := range res.Entries {
+					row[i] = string(e)
+				}
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	}
+	plain, err := run(false)
+	if err != nil {
+		return err
+	}
+	attached, err := run(true)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(plain, attached) {
+		return fmt.Errorf("zone-bench cold-path identity broken: topology-attached answers diverge from topology-free twin")
+	}
+	return nil
+}
+
+// runZoneBench executes both arms and writes the JSON report to path.
+func runZoneBench(path string) error {
+	if err := checkZoneColdPathIdentity(); err != nil {
+		return err
+	}
+	report := zoneBenchReport{
+		Topology:      zoneBenchTopo,
+		Servers:       zoneBenchServers,
+		Keys:          zoneBenchKeys,
+		EntriesPerKey: zoneBenchEntries,
+		Y:             zoneBenchY,
+		LookupT:       zoneBenchT,
+		ClientZone:    zoneBenchClient,
+		Note: "availability scans every rack/DC/region zone: an entry is " +
+			"available under a zone partition iff it keeps a home outside " +
+			"the zone. spread=true must hold 1.0 (SpreadAssign guarantee); " +
+			"the partition_* fields are measured with the worst zone " +
+			"actually partitioned.",
+	}
+	for _, spread := range []bool{false, true} {
+		cfg := wire.Config{Scheme: wire.Hash, Y: zoneBenchY, Seed: 42, ZoneSpread: spread}
+		arm, err := runZoneArm(cfg)
+		if err != nil {
+			return err
+		}
+		report.Arms = append(report.Arms, arm)
+		fmt.Fprintf(os.Stderr, "[zone arm spread=%v: availability %.4f (worst %s %.4f), %d keys fully lost, cross-DC hops %.2f, partition satisfied %.2f]\n",
+			spread, arm.Availability, arm.WorstZone, arm.WorstZoneAvail, arm.KeysFullyLost, arm.CrossDCHopFrac, arm.PartitionSatisfiedFrac)
+	}
+	report.ColdPathIdentical = true // checkZoneColdPathIdentity errored otherwise
+
+	// The acceptance bar, enforced here so a regression fails the bench
+	// itself, not just the benchdiff trajectory: spread-on survives any
+	// single-zone partition outright, spread-off demonstrably does not.
+	spreadArm, plainArm := report.Arms[1], report.Arms[0]
+	if spreadArm.Availability != 1.0 || spreadArm.KeysFullyLost != 0 {
+		return fmt.Errorf("zone-bench: spread arm availability %.4f (%d keys fully lost), want 1.0 and 0",
+			spreadArm.Availability, spreadArm.KeysFullyLost)
+	}
+	if plainArm.Availability >= 1.0 {
+		return fmt.Errorf("zone-bench: spread-off arm shows no degradation (availability %.4f) — the comparison is vacuous", plainArm.Availability)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write -zone-bench file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	fmt.Printf("zone bench: spread availability %.4f vs plain %.4f (%d keys fully lost); partition satisfied %.2f vs %.2f; cross-DC hop fraction %.2f vs %.2f; cold path identical\n",
+		spreadArm.Availability, plainArm.Availability, plainArm.KeysFullyLost,
+		spreadArm.PartitionSatisfiedFrac, plainArm.PartitionSatisfiedFrac,
+		spreadArm.CrossDCHopFrac, plainArm.CrossDCHopFrac)
+	return nil
+}

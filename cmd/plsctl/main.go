@@ -26,7 +26,10 @@
 //
 // The scheme flags must match the configuration the key was placed
 // with (the service is symmetric: any client carrying the same config
-// can update the key).
+// can update the key). That includes -zone-spread: a key placed with
+// zone-spread on a -topology cluster must be updated with the same
+// flags. -client-zone plus -selector orders probes nearest-zone-first
+// (see DESIGN.md §14).
 //
 // stats fetches /metrics from a plsd -admin endpoint (host:port or a
 // full URL) and pretty-prints the snapshot; -stats-json dumps the raw
@@ -50,6 +53,7 @@ import (
 	"repro/internal/selector"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -78,6 +82,12 @@ func run() error {
 		maxBackoff    = flag.Duration("max-backoff", time.Second, "cap on the per-retry delay")
 		hedgeAfter    = flag.Duration("hedge-after", 0, "send a second identical probe after this latency (0 = off)")
 		useSelector   = flag.Bool("selector", false, "adapt probe order to observed server health and cached per-key routes (multi-key verbs benefit most)")
+
+		// Zone topology (must match the -topology every plsd was started
+		// with; see the OPERATIONS.md zone runbook).
+		topoSpec   = flag.String("topology", "", "zone topology spec matching the cluster's (RxDxK, rack=ids list, or @file); empty = flat")
+		zoneSpread = flag.Bool("zone-spread", false, "request zone-spread placement for updates (requires -topology)")
+		clientZone = flag.String("client-zone", "", "this client's zone path (e.g. r0/d1/k0); with -selector, probes prefer nearby servers")
 
 		// Client-side chaos injection, for exercising the resilience
 		// path against a real plsd cluster.
@@ -110,6 +120,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var tp *topo.Topology
+	if *topoSpec != "" {
+		if tp, err = topo.Parse(*topoSpec, len(addrs)); err != nil {
+			return fmt.Errorf("-topology: %w", err)
+		}
+	}
+	if *zoneSpread && tp == nil {
+		return fmt.Errorf("-zone-spread requires -topology")
+	}
+	if *clientZone != "" && tp == nil {
+		return fmt.Errorf("-client-zone requires -topology")
+	}
 	if *viaProxy {
 		// Front-tier mode: the strategy layer lives in the proxy, so ship
 		// the raw wire request and print whatever comes back. The local
@@ -119,6 +141,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		cfg.ZoneSpread = *zoneSpread
 		return runProxy(addrs, cfg, *timeout, *muxConns, verb, args)
 	}
 	// Membership verbs commit a cluster-wide rebalance — every member
@@ -192,6 +215,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cfg.ZoneSpread = *zoneSpread
 	opts := []core.Option{
 		core.WithDefaultConfig(cfg),
 		core.WithLookupMetrics(lm),
@@ -205,9 +229,13 @@ func run() error {
 		}),
 	}
 	if *useSelector {
-		opts = append(opts, core.WithSelector(selector.New(len(addrs), selector.Options{
+		sel := selector.New(len(addrs), selector.Options{
 			Metrics: telemetry.NewSelectorMetrics(reg),
-		})))
+		})
+		if tp != nil && *clientZone != "" {
+			sel.SetTopology(tp, *clientZone)
+		}
+		opts = append(opts, core.WithSelector(sel))
 	}
 	svc, err := core.NewService(caller, opts...)
 	if err != nil {

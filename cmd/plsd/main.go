@@ -29,6 +29,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/transport"
 )
 
@@ -57,6 +58,13 @@ func run() error {
 		// entries to the survivors before exiting on SIGINT/SIGTERM.
 		joinVia         = flag.String("join", "", "existing member address to request admission from at startup (this daemon's -peers entry must be the last slot)")
 		drainOnShutdown = flag.Bool("drain-on-shutdown", false, "on shutdown, gracefully drain out of the cluster (rebalance entries to survivors) before exiting")
+
+		// Zone topology. Every daemon must be started with the same spec
+		// (it is cluster-shared state, like the peer list): it feeds
+		// zone-spread home computation for ZoneSpread configs and orders
+		// this daemon's peer preferences nearest-zone-first. See
+		// DESIGN.md §14 and the OPERATIONS.md zone runbook.
+		topoSpec = flag.String("topology", "", "zone topology spec: RxDxK (e.g. 3x2x2), explicit rack=ids list, or @file; empty = flat cluster")
 
 		// Anti-entropy repair: background sweeps that re-replicate
 		// entries lost to dead peers, restoring each scheme's
@@ -107,6 +115,16 @@ func run() error {
 
 	nd := node.New(*id, stats.NewRNG(rngSeed))
 	nd.Instrument(nm)
+	var tp *topo.Topology
+	if *topoSpec != "" {
+		var err error
+		tp, err = topo.Parse(*topoSpec, len(addrs))
+		if err != nil {
+			return fmt.Errorf("-topology: %w", err)
+		}
+		nd.SetTopology(tp)
+		fmt.Printf("plsd: zone topology %d racks, this server in %s\n", tp.NumRacks(), tp.ZoneOf(*id))
+	}
 	reg.NewGaugeFunc("node.entries", func() int64 { return int64(nd.EntryCount()) })
 	reg.NewGaugeFunc("node.keys", func() int64 { return int64(nd.KeyCount()) })
 	telemetry.RegisterRuntimeMetrics(reg)
@@ -159,6 +177,12 @@ func run() error {
 		sel = selector.New(len(addrs), selector.Options{
 			Metrics: telemetry.NewSelectorMetrics(reg),
 		})
+		if tp != nil {
+			// Nearest-zone-first peer preference from this daemon's own
+			// rack; repair pushes and future orderings go to same-zone
+			// healthy peers before crossing a DC boundary.
+			sel.SetTopology(tp, tp.ZoneOf(*id))
+		}
 		peerCaller = selector.Observe(peerCaller, sel)
 		// Membership can resize the selector at runtime, so the vector
 		// closures bounds-check against the live health slice.
@@ -193,7 +217,7 @@ func run() error {
 	// Dynamic membership: this daemon can coordinate joins and drains
 	// (wire.Join / wire.Leave land on any member) and applies committed
 	// updates to its own transport view and selector.
-	mc := newMembershipController(nd, peerClient, sel)
+	mc := newMembershipController(nd, peerClient, sel, tp)
 
 	// Anti-entropy repair: sweeps are epoch-gated on the selector's
 	// failure counter, so a healthy cluster pays nothing for this loop.

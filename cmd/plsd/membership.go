@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/node"
 	"repro/internal/selector"
+	"repro/internal/topo"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -33,6 +34,7 @@ type membershipController struct {
 	nd     *node.Node
 	client *transport.Client
 	sel    *selector.Selector // nil when -peer-selector=false
+	tp     *topo.Topology     // nil when -topology unset
 	// drained is closed when this daemon commits its own drain; main
 	// treats it like SIGTERM, so the final durable snapshot doubles as
 	// the escrow of anything no survivor could safely accept.
@@ -40,11 +42,12 @@ type membershipController struct {
 	once    sync.Once
 }
 
-func newMembershipController(nd *node.Node, client *transport.Client, sel *selector.Selector) *membershipController {
+func newMembershipController(nd *node.Node, client *transport.Client, sel *selector.Selector, tp *topo.Topology) *membershipController {
 	c := &membershipController{
 		nd:      nd,
 		client:  client,
 		sel:     sel,
+		tp:      tp,
 		drained: make(chan struct{}),
 	}
 	nd.OnMembershipChange(c.preSweep)
@@ -62,6 +65,16 @@ func (c *membershipController) preSweep(m wire.MembershipUpdate) {
 	}
 	for c.client.NumServers() < m.NewN && len(m.Addrs) == m.NewN {
 		c.client.AddServer(m.Addrs[c.client.NumServers()])
+	}
+	// Grow the topology BEFORE the rebalance sweep (mirroring
+	// cluster.JoinAddr): with tp.N() == NewN on every member, spread
+	// homes are computed under the new count on both the planning and
+	// accepting side. Rack assignment for the new ids is the same
+	// deterministic round-robin on every daemon.
+	if c.tp != nil {
+		for c.tp.N() < m.NewN {
+			c.tp.Grow(1)
+		}
 	}
 	if c.sel != nil {
 		c.sel.Resize(m.NewN)
@@ -86,6 +99,13 @@ func (c *membershipController) postSweep(m wire.MembershipUpdate) {
 	// (renumbered) slot.
 	if c.sel != nil {
 		c.sel.Resize(m.NewN)
+	}
+	// Compact the topology AFTER the sweep (mirroring cluster.Drain):
+	// during the transition the counts disagree, so every member's
+	// spread computation falls back to base assignment together; the
+	// next repair sweep re-homes once the views converge.
+	if c.tp != nil && c.tp.N() > m.NewN {
+		c.tp.Compact(m.Leaving)
 	}
 	c.client.RemoveServer(m.Leaving)
 	if id := c.nd.ID(); id > m.Leaving {

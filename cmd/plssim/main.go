@@ -7,6 +7,15 @@
 //
 //	plssim -scheme fixed -x 18 -t 15 -servers 10 -steady 100 \
 //	       -updates 20000 -lifetime exp -runs 20
+//
+// A second mode (-mode trace) replays a YCSB-style multi-key trace with
+// Zipf key popularity against a large emulated cluster — the 10k-node
+// scale scenario — optionally under a zone topology with a mid-run
+// whole-zone partition:
+//
+//	plssim -mode trace -scheme hash -y 3 -servers 10000 \
+//	       -topology 4x5x25 -spread -client-zone r0/d0/k0 \
+//	       -zone-partition r1 -keys 200 -entries-per-key 100 -ops 2000
 package main
 
 import (
@@ -18,10 +27,12 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/selector"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -47,12 +58,44 @@ func run() error {
 		lookups  = flag.Int("lookups", 500, "post-run lookups for satisfaction/unfairness")
 		seed     = flag.Uint64("seed", 1, "master seed")
 		telOut   = flag.String("telemetry-out", "", "write the final run's cluster telemetry snapshot as JSON to this file")
+
+		mode      = flag.String("mode", "classic", "classic (Sec. 6 single-key stream) or trace (multi-key Zipf trace)")
+		topoSpec  = flag.String("topology", "", "zone topology spec (RxDxK, explicit, or @file); empty = flat cluster")
+		spread    = flag.Bool("spread", false, "zone-spread placement (requires -topology; Hash/MultiProbe only)")
+		clientTop = flag.String("client-zone", "", "client zone path for zone-aware selection and partition exposure")
+		zonePart  = flag.String("zone-partition", "", "zone path to partition mid-trace (trace mode)")
+		partAt    = flag.Float64("partition-at", 0.5, "fraction of trace ops after which the zone partition fires")
+		keys      = flag.Int("keys", 100, "trace keyspace size")
+		perKey    = flag.Int("entries-per-key", 100, "initial entries placed per trace key")
+		ops       = flag.Int("ops", 2000, "trace operations")
+		zipfS     = flag.Float64("zipf-s", 0.99, "trace key popularity Zipf exponent (0 = uniform)")
+		lookFrac  = flag.Float64("lookup-frac", 0.8, "fraction of trace ops that are lookups")
 	)
 	flag.Parse()
 
 	cfg, err := cliutil.ParseScheme(*scheme, *x, *y, 0)
 	if err != nil {
 		return err
+	}
+	cfg.ZoneSpread = *spread
+	if *mode == "trace" {
+		return runTrace(cfg, traceParams{
+			servers:    *n,
+			target:     *target,
+			seed:       *seed,
+			topoSpec:   *topoSpec,
+			clientZone: *clientTop,
+			zonePart:   *zonePart,
+			partAt:     *partAt,
+			keys:       *keys,
+			perKey:     *perKey,
+			ops:        *ops,
+			zipfS:      *zipfS,
+			lookupFrac: *lookFrac,
+		})
+	}
+	if *mode != "classic" {
+		return fmt.Errorf("unknown -mode %q (want classic or trace)", *mode)
 	}
 	lt, err := sim.DefaultLifetime(*lifetime, *gap, *steady)
 	if err != nil {
@@ -152,6 +195,190 @@ func run() error {
 	fmt.Printf("  final storage:         %10.1f entries\n", storage.Mean())
 	fmt.Printf("  final coverage:        %10.1f of ~%d live entries\n", coverage.Mean(), *steady)
 	fmt.Printf("  lookup(t=%d) satisfied: %9.2f %% of %d lookups\n", *target, satisfied.Mean(), *lookups)
+	return nil
+}
+
+// traceParams bundles the -mode trace flag set.
+type traceParams struct {
+	servers    int
+	target     int
+	seed       uint64
+	topoSpec   string
+	clientZone string
+	zonePart   string
+	partAt     float64
+	keys       int
+	perKey     int
+	ops        int
+	zipfS      float64
+	lookupFrac float64
+}
+
+// tracePhase accumulates per-phase (pre-/post-partition) measures.
+type tracePhase struct {
+	name                 string
+	lookups, satisfied   int
+	lookupErrs           int
+	updates, updateErrs  int
+	achieved, contacted  stats.Summary
+	msgs                 int64
+	zone                 [topo.NumDistances]uint64
+	zoneBase, zoneLabels bool
+}
+
+func (ph *tracePhase) print(t int, tp *topo.Topology) {
+	fmt.Printf("  [%s] %d lookups, %d updates\n", ph.name, ph.lookups, ph.updates)
+	if ph.lookups > 0 {
+		fmt.Printf("    satisfied(t=%d):   %8.2f %%   unreachable: %d\n",
+			t, 100*float64(ph.satisfied)/float64(ph.lookups), ph.lookupErrs)
+		fmt.Printf("    achieved entries:  %8.2f mean\n", ph.achieved.Mean())
+		fmt.Printf("    servers contacted: %8.2f mean per lookup\n", ph.contacted.Mean())
+	}
+	if ph.updateErrs > 0 {
+		fmt.Printf("    update errors:     %8d\n", ph.updateErrs)
+	}
+	fmt.Printf("    messages:          %8d\n", ph.msgs)
+	if tp != nil {
+		labels := [topo.NumDistances]string{"same-rack", "same-dc", "same-region", "cross-region"}
+		fmt.Printf("    hops:")
+		for d, c := range ph.zone {
+			fmt.Printf(" %s=%d", labels[d], c)
+		}
+		fmt.Println()
+	}
+}
+
+// runTrace drives the multi-key Zipf trace scenario: place every key's
+// initial population, replay the op stream, and (optionally) partition
+// a zone partway through, reporting lookup quality and message/hop cost
+// for each phase separately.
+func runTrace(cfg wire.Config, p traceParams) error {
+	rng := stats.NewRNG(p.seed)
+	if cfg.Scheme == wire.Hash || cfg.Scheme == wire.MultiProbe {
+		cfg.Seed = rng.Uint64()
+	}
+	if cfg.ZoneSpread && p.topoSpec == "" {
+		return fmt.Errorf("-spread requires -topology")
+	}
+	if p.clientZone != "" && p.topoSpec == "" {
+		return fmt.Errorf("-client-zone requires -topology")
+	}
+	if p.partAt < 0 || p.partAt > 1 {
+		return fmt.Errorf("-partition-at must be in [0,1], got %g", p.partAt)
+	}
+
+	tr, err := sim.GenerateTrace(rng.Split(), sim.TraceConfig{
+		Keys:          p.keys,
+		EntriesPerKey: p.perKey,
+		Ops:           p.ops,
+		ZipfS:         p.zipfS,
+		LookupFrac:    p.lookupFrac,
+	})
+	if err != nil {
+		return err
+	}
+
+	cl := cluster.New(p.servers, rng.Split())
+	var tp *topo.Topology
+	if p.topoSpec != "" {
+		tp, err = topo.Parse(p.topoSpec, p.servers)
+		if err != nil {
+			return err
+		}
+		if err := cl.SetTopology(tp); err != nil {
+			return err
+		}
+		if p.clientZone != "" {
+			cl.Chaos().SetClientZone(p.clientZone)
+		}
+	}
+	if p.zonePart != "" && tp == nil {
+		return fmt.Errorf("-zone-partition requires -topology")
+	}
+
+	drv, err := strategy.New(cfg, rng.Split())
+	if err != nil {
+		return err
+	}
+	sel := selector.New(p.servers, selector.Options{})
+	if tp != nil && p.clientZone != "" {
+		sel.SetTopology(tp, p.clientZone)
+	}
+	drv.SetSelector(sel)
+	caller := selector.Observe(cl.Caller(), sel)
+
+	ctx := context.Background()
+	for k, initial := range tr.Initial {
+		if err := drv.Place(ctx, caller, sim.KeyName(k), initial); err != nil {
+			return fmt.Errorf("place %s: %w", sim.KeyName(k), err)
+		}
+	}
+	cl.ResetMessages()
+	cl.Chaos().ResetZoneCalls()
+
+	cut := len(tr.Ops)
+	if p.zonePart != "" {
+		cut = int(p.partAt * float64(len(tr.Ops)))
+	}
+	phases := []*tracePhase{{name: "steady"}}
+	ph := phases[0]
+	var msgBase int64
+	var zoneBase [topo.NumDistances]uint64
+	snapshot := func(ph *tracePhase) {
+		ph.msgs = cl.Messages() - msgBase
+		msgBase = cl.Messages()
+		if tp != nil {
+			zc := cl.Chaos().ZoneCalls()
+			for d := range zc {
+				ph.zone[d] = zc[d] - zoneBase[d]
+			}
+			zoneBase = zc
+		}
+	}
+	for i, op := range tr.Ops {
+		if p.zonePart != "" && i == cut {
+			snapshot(ph)
+			cl.Chaos().PartitionZone(p.zonePart)
+			ph = &tracePhase{name: "zone " + p.zonePart + " partitioned"}
+			phases = append(phases, ph)
+		}
+		key := sim.KeyName(op.Key)
+		switch op.Kind {
+		case sim.OpLookup:
+			ph.lookups++
+			res, err := drv.PartialLookup(ctx, caller, key, p.target)
+			if err != nil {
+				ph.lookupErrs++
+				continue
+			}
+			if res.Satisfied(p.target) {
+				ph.satisfied++
+			}
+			ph.achieved.Observe(float64(len(res.Entries)))
+			ph.contacted.Observe(float64(res.Contacted))
+		case sim.OpAdd:
+			ph.updates++
+			if err := drv.Add(ctx, caller, key, op.Entry); err != nil {
+				ph.updateErrs++
+			}
+		default:
+			ph.updates++
+			if err := drv.Delete(ctx, caller, key, op.Entry); err != nil {
+				ph.updateErrs++
+			}
+		}
+	}
+	snapshot(ph)
+
+	fmt.Printf("plssim trace: %v on %d servers, %d keys x %d entries, %d ops (zipf s=%.2f, %.0f%% lookups)\n",
+		cfg, p.servers, p.keys, p.perKey, p.ops, p.zipfS, 100*p.lookupFrac)
+	if tp != nil {
+		fmt.Printf("  topology %s (%d racks), client zone %q, spread=%v\n",
+			p.topoSpec, tp.NumRacks(), p.clientZone, cfg.ZoneSpread)
+	}
+	for _, ph := range phases {
+		ph.print(p.target, tp)
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -49,6 +50,12 @@ type Cluster struct {
 	// nextAddr numbers synthetic joiner addresses; it never reuses a
 	// drained member's number, so double-join detection stays simple.
 	nextAddr int
+
+	// topo, when set, is the zone topology shared by the chaos layer
+	// and every node. Membership operations keep it in step with the
+	// member count (Grow/Compact), and Replace re-attaches it to the
+	// fresh node so the replacement keeps the dead server's zone.
+	topo *topo.Topology
 }
 
 // New creates a cluster of n servers. Each node receives an independent
@@ -126,6 +133,27 @@ func (c *Cluster) EnableTelemetry(reg *telemetry.Registry) *telemetry.TransportM
 // for scenarios beyond the convenience methods below.
 func (c *Cluster) Chaos() *transport.Chaos { return c.chaos }
 
+// SetTopology attaches a zone topology to the whole cluster: the chaos
+// layer (zone latency, whole-zone partitions) and every node (spread
+// placement) share the same instance, the consistency the zone-spread
+// mode depends on. The topology must cover exactly the current member
+// count. Attaching one consumes no randomness — with a zero latency
+// profile, seeded runs are unchanged.
+func (c *Cluster) SetTopology(tp *topo.Topology) error {
+	if tp != nil && tp.N() != len(c.nodes) {
+		return fmt.Errorf("cluster: topology covers %d servers, cluster has %d", tp.N(), len(c.nodes))
+	}
+	c.topo = tp
+	c.chaos.SetTopology(tp)
+	for _, nd := range c.nodes {
+		nd.SetTopology(tp)
+	}
+	return nil
+}
+
+// Topology returns the attached zone topology, or nil.
+func (c *Cluster) Topology() *topo.Topology { return c.topo }
+
 // Node returns server i, for white-box inspection in tests and metrics.
 func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
 
@@ -174,6 +202,11 @@ func (c *Cluster) Replace(i int, rng *stats.RNG) *node.Node {
 	if c.nm != nil {
 		nd.Instrument(c.nm)
 	}
+	// The topology is keyed by server id, so the replacement inherits
+	// the dead server's zone — but the fresh node must re-learn the
+	// shared instance, or its spread-mode home computations diverge
+	// from the rest of the cluster (regression-tested in zone_test.go).
+	nd.SetTopology(c.topo)
 	c.nodes[i] = nd
 	c.tr.Bind(i, nd)
 	c.tr.SetDown(i, false)
@@ -314,6 +347,14 @@ func (c *Cluster) JoinAddr(ctx context.Context, addr string, rng *stats.RNG) (*n
 		nd.Instrument(c.nm)
 	}
 	c.chaos.Grow(1)
+	if c.topo != nil {
+		// Keep the topology in step with the member count: the joiner
+		// goes to the least-populated rack, and spread assignments stay
+		// suspended (base fallback) only for the instant the counts
+		// disagree.
+		c.topo.Grow(1)
+		nd.SetTopology(c.topo)
+	}
 	c.tr.Add(nd)
 	c.nodes = append(c.nodes, nd)
 	c.addrs = append(c.addrs, addr)
@@ -375,6 +416,9 @@ func (c *Cluster) Drain(ctx context.Context, i int) (*node.Node, error) {
 	leaver := c.nodes[i]
 	c.tr.Remove(i)
 	c.chaos.Compact(i)
+	if c.topo != nil {
+		c.topo.Compact(i)
+	}
 	c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
 	c.addrs = append(c.addrs[:i], c.addrs[i+1:]...)
 	for s := i; s < len(c.nodes); s++ {

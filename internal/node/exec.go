@@ -21,6 +21,13 @@ import (
 type executor interface {
 	// place distributes a place(k, {v1..vh}) batch to the cluster.
 	place(ctx context.Context, n *Node, m wire.Place) wire.Message
+	// placeSpread is place under the zone-spread mode
+	// (wire.Config.ZoneSpread): entry homes come from the node's
+	// attached topo.Topology so no failure domain holds every copy.
+	// Schemes whose base placement is already zone-diverse (or cannot
+	// spread) delegate to place; see exec_spread.go for the per-scheme
+	// rationale. Must follow the same RNG discipline as place.
+	placeSpread(ctx context.Context, n *Node, m wire.Place) wire.Message
 	// add runs the initial server's add(v) protocol for the key.
 	add(ctx context.Context, n *Node, ks *store.KeyState, cfg wire.Config, m wire.Add) wire.Message
 	// del runs the initial server's delete(v) protocol for the key.

@@ -32,7 +32,7 @@ func (hashExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
 
 func (hashExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
 	numServers := n.numServers()
-	for _, target := range HashAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
+	for _, target := range HomesFor(m.Entry, cfg, numServers, n.Topology()) {
 		if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
 			return wire.Ack{Err: err.Error()}
 		}
@@ -42,7 +42,7 @@ func (hashExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Co
 
 func (hashExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
 	numServers := n.numServers()
-	for _, target := range HashAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
+	for _, target := range HomesFor(m.Entry, cfg, numServers, n.Topology()) {
 		if err := n.callBestEffort(ctx, target, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
 			return wire.Ack{Err: err.Error()}
 		}
@@ -65,35 +65,31 @@ func (hashExec) removeOne(_ context.Context, _ *Node, st *store.State, m wire.Re
 	return nil
 }
 
-// repairPlan: entry v's homes are exactly f1(v)..fy(v), so each local
-// entry is offered to the other servers of its hash assignment.
+// repairPlan: entry v's homes are exactly f1(v)..fy(v) (or its spread
+// assignment under ZoneSpread), so each local entry is offered to the
+// other servers of its assignment.
 func (hashExec) repairPlan(self int, v repairView, numServers int) []repairCandidate {
 	if v.cfg.Y <= 0 {
 		return nil
 	}
 	return perEntryHomeCandidates(self, v.entries, numServers, false,
 		func(s string) ([]int, int, bool) {
-			return HashAssign(s, v.cfg.Y, numServers, v.cfg.Seed), 0, true
+			return HomesFor(s, v.cfg, numServers, v.tp), 0, true
 		})
 }
 
 // repairAccept: store an entry only if this server really is one of
-// its hash homes; anything else is dropped.
+// its homes (hash or spread, matching the planner); anything else is
+// dropped.
 func (hashExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int {
 	accepted := 0
+	tp := n.Topology()
 	for _, s := range m.Entries {
 		v := entry.Entry(s)
 		if !v.Valid() || st.Set.Contains(v) {
 			continue
 		}
-		home := false
-		for _, t := range HashAssign(s, st.Cfg.Y, numServers, st.Cfg.Seed) {
-			if t == n.id {
-				home = true
-				break
-			}
-		}
-		if !home {
+		if !isHome(s, st.Cfg, numServers, n.id, tp) {
 			continue
 		}
 		if logAdd(st, v) {
@@ -114,11 +110,11 @@ func (hashExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]re
 	}
 	push := perEntryHomeCandidates(selfRank, v.entries, mc.newN, false,
 		func(s string) ([]int, int, bool) {
-			return HashAssign(s, v.cfg.Y, mc.newN, v.cfg.Seed), 0, true
+			return HomesFor(s, v.cfg, mc.newN, v.tp), 0, true
 		})
 	var drop []string
 	for _, s := range v.entries {
-		if selfRank < 0 || !hashHome(s, v.cfg, mc.newN, selfRank) {
+		if selfRank < 0 || !isHome(s, v.cfg, mc.newN, selfRank, v.tp) {
 			drop = append(drop, s)
 		}
 	}
@@ -127,14 +123,15 @@ func (hashExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]re
 
 // rebalanceAccept: the repairAccept rule evaluated under the
 // post-change view the push self-describes.
-func (hashExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
+func (hashExec) rebalanceAccept(n *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
 	accepted := 0
+	tp := n.Topology()
 	for _, s := range m.Entries {
 		v := entry.Entry(s)
 		if !v.Valid() || st.Set.Contains(v) {
 			continue
 		}
-		if !hashHome(s, st.Cfg, m.NewN, selfRank) {
+		if !isHome(s, st.Cfg, m.NewN, selfRank, tp) {
 			continue
 		}
 		if logAdd(st, v) {
@@ -142,15 +139,6 @@ func (hashExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, 
 		}
 	}
 	return accepted
-}
-
-func hashHome(s string, cfg wire.Config, n, id int) bool {
-	for _, t := range HashAssign(s, cfg.Y, n, cfg.Seed) {
-		if t == id {
-			return true
-		}
-	}
-	return false
 }
 
 // HashAssign returns the distinct servers f1(v)..fy(v) that Hash-y

@@ -38,7 +38,7 @@ func (mpExec) place(ctx context.Context, n *Node, m wire.Place) wire.Message {
 
 func (mpExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Add) wire.Message {
 	numServers := n.numServers()
-	for _, target := range MultiProbeAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
+	for _, target := range HomesFor(m.Entry, cfg, numServers, n.Topology()) {
 		if err := n.callBestEffort(ctx, target, wire.StoreOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
 			return wire.Ack{Err: err.Error()}
 		}
@@ -48,7 +48,7 @@ func (mpExec) add(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Conf
 
 func (mpExec) del(ctx context.Context, n *Node, _ *store.KeyState, cfg wire.Config, m wire.Delete) wire.Message {
 	numServers := n.numServers()
-	for _, target := range MultiProbeAssign(m.Entry, cfg.Y, numServers, cfg.Seed) {
+	for _, target := range HomesFor(m.Entry, cfg, numServers, n.Topology()) {
 		if err := n.callBestEffort(ctx, target, wire.RemoveOne{Key: m.Key, Config: cfg, Entry: m.Entry}); err != nil {
 			return wire.Ack{Err: err.Error()}
 		}
@@ -79,20 +79,22 @@ func (mpExec) repairPlan(self int, v repairView, numServers int) []repairCandida
 	}
 	return perEntryHomeCandidates(self, v.entries, numServers, false,
 		func(s string) ([]int, int, bool) {
-			return MultiProbeAssign(s, v.cfg.Y, numServers, v.cfg.Seed), 0, true
+			return HomesFor(s, v.cfg, numServers, v.tp), 0, true
 		})
 }
 
 // repairAccept: store an entry only if this server really is one of
-// its ring homes; anything else is dropped.
+// its homes (ring or spread, matching the planner); anything else is
+// dropped.
 func (mpExec) repairAccept(n *Node, st *store.State, m wire.RepairPush, numServers int) int {
 	accepted := 0
+	tp := n.Topology()
 	for _, s := range m.Entries {
 		v := entry.Entry(s)
 		if !v.Valid() || st.Set.Contains(v) {
 			continue
 		}
-		if !multiProbeHome(s, st.Cfg, numServers, n.id) {
+		if !isHome(s, st.Cfg, numServers, n.id, tp) {
 			continue
 		}
 		if logAdd(st, v) {
@@ -114,11 +116,11 @@ func (mpExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repa
 	}
 	push := perEntryHomeCandidates(selfRank, v.entries, mc.newN, false,
 		func(s string) ([]int, int, bool) {
-			return MultiProbeAssign(s, v.cfg.Y, mc.newN, v.cfg.Seed), 0, true
+			return HomesFor(s, v.cfg, mc.newN, v.tp), 0, true
 		})
 	var drop []string
 	for _, s := range v.entries {
-		if selfRank < 0 || !multiProbeHome(s, v.cfg, mc.newN, selfRank) {
+		if selfRank < 0 || !isHome(s, v.cfg, mc.newN, selfRank, v.tp) {
 			drop = append(drop, s)
 		}
 	}
@@ -128,14 +130,15 @@ func (mpExec) rebalancePlan(selfRank int, v repairView, mc memberChange) ([]repa
 // rebalanceAccept: the Hash-y rule under the post-change view — this
 // server (at its post-change rank) must be one of the entry's ring
 // homes in a cluster of NewN.
-func (mpExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
+func (mpExec) rebalanceAccept(n *Node, st *store.State, m wire.RebalancePush, selfRank int) int {
 	accepted := 0
+	tp := n.Topology()
 	for _, s := range m.Entries {
 		v := entry.Entry(s)
 		if !v.Valid() || st.Set.Contains(v) {
 			continue
 		}
-		if !multiProbeHome(s, st.Cfg, m.NewN, selfRank) {
+		if !isHome(s, st.Cfg, m.NewN, selfRank, tp) {
 			continue
 		}
 		if logAdd(st, v) {
@@ -143,15 +146,6 @@ func (mpExec) rebalanceAccept(_ *Node, st *store.State, m wire.RebalancePush, se
 		}
 	}
 	return accepted
-}
-
-func multiProbeHome(s string, cfg wire.Config, n, id int) bool {
-	for _, t := range MultiProbeAssign(s, cfg.Y, n, cfg.Seed) {
-		if t == id {
-			return true
-		}
-	}
-	return false
 }
 
 // mpProbes is the number of ring probes per replica choice. The

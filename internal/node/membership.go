@@ -190,7 +190,7 @@ func (n *Node) Rebalance(ctx context.Context, m wire.MembershipUpdate) Rebalance
 // destroyed — a sole RandomServer-x copy on a leaver whose peers are
 // all at capacity is the concrete case.
 func (n *Node) rebalanceKey(ctx context.Context, key string, ks *store.KeyState, mc memberChange, selfRank int, stats *RebalanceStats) {
-	view := viewKey(key, ks)
+	view := viewKey(n, key, ks)
 	plan, drops := execFor(view.cfg.Scheme).rebalancePlan(selfRank, view, mc)
 
 	safe := make(map[string]bool)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"sync/atomic"
@@ -65,6 +66,12 @@ type Node struct {
 	// mapped through rankOf again (see handleRebalancePush).
 	compactedEpoch atomic.Uint64
 
+	// topol, when set, is the cluster's shared zone topology; the
+	// zone-spread placement mode (wire.Config.ZoneSpread) resolves
+	// entry homes through it. Like Config.Seed, every member must hold
+	// the same topology or spread assignments diverge (DESIGN.md §14).
+	topol atomic.Pointer[topo.Topology]
+
 	peersMu     sync.RWMutex
 	peers       transport.Caller
 	membership  MembershipManager
@@ -94,6 +101,15 @@ func (n *Node) Attach(peers transport.Caller) {
 
 // ID returns the node's server id.
 func (n *Node) ID() int { return n.id }
+
+// SetTopology attaches (or, with nil, detaches) the cluster's shared
+// zone topology. Safe to call on a serving node; spread-mode homes are
+// resolved against whatever topology is current when a message is
+// handled.
+func (n *Node) SetTopology(tp *topo.Topology) { n.topol.Store(tp) }
+
+// Topology returns the attached zone topology, or nil.
+func (n *Node) Topology() *topo.Topology { return n.topol.Load() }
 
 // Instrument attaches per-op telemetry: the node counts the Place /
 // Add / Delete / Lookup requests it handles against its server id. The
@@ -191,6 +207,9 @@ func (n *Node) handlePlace(ctx context.Context, m wire.Place) wire.Message {
 	}
 	if err := m.Config.Validate(numServers); err != nil {
 		return wire.Ack{Err: err.Error()}
+	}
+	if m.Config.ZoneSpread {
+		return execFor(m.Config.Scheme).placeSpread(ctx, n, m)
 	}
 	return execFor(m.Config.Scheme).place(ctx, n, m)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/entry"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -184,6 +185,7 @@ func (r *Repairer) SweepOnce(ctx context.Context) RepairStats {
 type repairView struct {
 	key       string
 	cfg       wire.Config
+	tp        *topo.Topology // node's zone topology (nil without one)
 	entries   []string       // local set, internal order
 	positions map[string]int // Round-y positions
 	hCount    int            // RandomServer-x system size
@@ -203,9 +205,10 @@ type repairCandidate struct {
 	fillToX   bool
 }
 
-// viewKey snapshots one key's state for planning.
-func viewKey(key string, ks *store.KeyState) repairView {
-	v := repairView{key: key}
+// viewKey snapshots one key's state for planning, carrying the node's
+// topology so spread-mode home computations see the same one.
+func viewKey(n *Node, key string, ks *store.KeyState) repairView {
+	v := repairView{key: key, tp: n.Topology()}
 	ks.View(func(st *store.State) {
 		v.cfg = st.Cfg
 		members := st.Set.Members()
@@ -294,7 +297,7 @@ func (r *Repairer) sweepKey(ctx context.Context, key string, ks *store.KeyState,
 	if numServers <= 1 {
 		return
 	}
-	view := viewKey(key, ks)
+	view := viewKey(n, key, ks)
 	isDead := func(server int) bool {
 		return server < len(dead) && dead[server]
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/entry"
 	"repro/internal/node"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -45,13 +46,17 @@ type View struct {
 	Key     string
 	Config  wire.Config
 	Servers []ServerState
+	// Topology is the cluster's zone topology, nil without one. With
+	// Config.ZoneSpread set, Hash-y/MultiProbe-y home checks resolve
+	// through it exactly as the executors do (node.HomesFor).
+	Topology *topo.Topology
 }
 
 // Observe snapshots one key across every server of a cluster. It reads
 // node state directly (never the transport), so observing perturbs
 // neither message counters nor RNG streams.
 func Observe(c *cluster.Cluster, key string, cfg wire.Config) View {
-	v := View{Key: key, Config: cfg, Servers: make([]ServerState, c.N())}
+	v := View{Key: key, Config: cfg, Servers: make([]ServerState, c.N()), Topology: c.Topology()}
 	for i := 0; i < c.N(); i++ {
 		nd := c.Node(i)
 		head, tail := nd.Counters(key)
@@ -137,30 +142,17 @@ func (v View) Check(live *entry.Set) []error {
 			if i < coordinators(cfg) && sv.Head > sv.Tail {
 				errs = append(errs, fmt.Errorf("key %q: coordinator %d has head %d > tail %d", v.Key, i, sv.Head, sv.Tail))
 			}
-		case wire.Hash:
+		case wire.Hash, wire.MultiProbe:
 			for _, m := range sv.Set.Members() {
 				home := false
-				for _, t := range node.HashAssign(string(m), cfg.Y, n, cfg.Seed) {
+				for _, t := range node.HomesFor(string(m), cfg, n, v.Topology) {
 					if t == i {
 						home = true
 						break
 					}
 				}
 				if !home {
-					errs = append(errs, fmt.Errorf("key %q: server %d stores entry %q outside its Hash-y assignment", v.Key, i, m))
-				}
-			}
-		case wire.MultiProbe:
-			for _, m := range sv.Set.Members() {
-				home := false
-				for _, t := range node.MultiProbeAssign(string(m), cfg.Y, n, cfg.Seed) {
-					if t == i {
-						home = true
-						break
-					}
-				}
-				if !home {
-					errs = append(errs, fmt.Errorf("key %q: server %d stores entry %q outside its MultiProbe-y assignment", v.Key, i, m))
+					errs = append(errs, fmt.Errorf("key %q: server %d stores entry %q outside its %v assignment", v.Key, i, m, cfg.Scheme))
 				}
 			}
 		case wire.KeyPartition:
@@ -261,10 +253,10 @@ func (v View) CheckCoverage(live *entry.Set) []error {
 				}
 			}
 		}
-	case wire.Hash:
+	case wire.Hash, wire.MultiProbe:
 		for _, m := range live.Members() {
 			stored := false
-			for _, t := range node.HashAssign(string(m), cfg.Y, n, cfg.Seed) {
+			for _, t := range node.HomesFor(string(m), cfg, n, v.Topology) {
 				sv := v.Servers[t]
 				if !sv.Alive {
 					continue
@@ -272,29 +264,11 @@ func (v View) CheckCoverage(live *entry.Set) []error {
 				if sv.Set.Contains(m) {
 					stored = true
 				} else {
-					errs = append(errs, fmt.Errorf("key %q: alive server %d is missing entry %q (Hash-y home)", v.Key, t, m))
+					errs = append(errs, fmt.Errorf("key %q: alive server %d is missing entry %q (%v home)", v.Key, t, m, cfg.Scheme))
 				}
 			}
 			if !stored {
-				errs = append(errs, fmt.Errorf("key %q: live entry %q is not stored on any alive Hash-y home (lost)", v.Key, m))
-			}
-		}
-	case wire.MultiProbe:
-		for _, m := range live.Members() {
-			stored := false
-			for _, t := range node.MultiProbeAssign(string(m), cfg.Y, n, cfg.Seed) {
-				sv := v.Servers[t]
-				if !sv.Alive {
-					continue
-				}
-				if sv.Set.Contains(m) {
-					stored = true
-				} else {
-					errs = append(errs, fmt.Errorf("key %q: alive server %d is missing entry %q (MultiProbe-y home)", v.Key, t, m))
-				}
-			}
-			if !stored {
-				errs = append(errs, fmt.Errorf("key %q: live entry %q is not stored on any alive MultiProbe-y home (lost)", v.Key, m))
+				errs = append(errs, fmt.Errorf("key %q: live entry %q is not stored on any alive %v home (lost)", v.Key, m, cfg.Scheme))
 			}
 		}
 	case wire.KeyPartition:

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 )
 
 // Options tune a Selector. The zero value of every field selects the
@@ -99,6 +100,16 @@ type Selector struct {
 	observations int64 // outcomes recorded; 0 and an empty cache = cold
 	failures     uint64
 	cache        *routeCache
+
+	// Zone awareness (SetTopology): with a topology and a client zone,
+	// servers inside each tier are additionally ordered nearest zone
+	// first, so lookups drain same-rack and same-DC replicas before
+	// paying cross-region links. dists caches the per-server distance
+	// from the client zone; nil means zone ordering is off and the
+	// cold-path byte-identity guarantee applies unchanged.
+	tp         *topo.Topology
+	clientZone string
+	dists      []int
 }
 
 // New returns a selector for a cluster of n servers.
@@ -111,6 +122,34 @@ func New(n int, opt Options) *Selector {
 		opt:     o,
 		servers: make([]serverState, n),
 		cache:   newRouteCache(o.CacheKeys, o.CacheServersPerKey),
+	}
+}
+
+// SetTopology enables zone-aware ordering: servers within each health
+// tier are preferred nearest the given client zone first (same rack,
+// then same DC, same region, cross-region), with base order preserved
+// among equidistant servers. Passing a nil topology or an empty zone
+// disables it. Zone ordering is deliberate signal, so once enabled the
+// selector is never "cold": orders deviate from the seeded base even
+// before any outcome is recorded — which is why topology-free runs
+// (the golden-verified configuration) never call this.
+func (s *Selector) SetTopology(tp *topo.Topology, clientZone string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tp = tp
+	s.clientZone = clientZone
+	s.recomputeDistsLocked()
+}
+
+// recomputeDistsLocked refreshes the per-server zone distance cache.
+func (s *Selector) recomputeDistsLocked() {
+	if s.tp == nil || s.clientZone == "" {
+		s.dists = nil
+		return
+	}
+	s.dists = make([]int, len(s.servers))
+	for i := range s.dists {
+		s.dists[i] = s.tp.DistZone(s.clientZone, i)
 	}
 }
 
@@ -145,6 +184,7 @@ func (s *Selector) Resize(n int) {
 		s.servers = make([]serverState, n)
 	}
 	s.cache = newRouteCache(s.opt.CacheKeys, s.opt.CacheServersPerKey)
+	s.recomputeDistsLocked()
 	s.failures++
 }
 
@@ -264,7 +304,7 @@ func (s *Selector) Order(key string, base []int) []int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.observations == 0 && s.cache.len() == 0 {
+	if s.coldLocked() {
 		return base
 	}
 	pos, neg := s.cache.routes(key)
@@ -286,7 +326,7 @@ func (s *Selector) OrderMulti(keys []string, base []int) []int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.observations == 0 && s.cache.len() == 0 {
+	if s.coldLocked() {
 		return base
 	}
 	votes := make(map[int]int)
@@ -331,10 +371,17 @@ func (s *Selector) OrderGlobal(base []int) []int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.observations == 0 && s.cache.len() == 0 {
+	if s.coldLocked() {
 		return base
 	}
 	return s.orderLocked(base, nil, nil)
+}
+
+// coldLocked reports whether ordering has no signal to act on: nothing
+// observed, nothing cached, and no zone distances. A cold selector
+// returns the caller's base untouched (the byte-identity guarantee).
+func (s *Selector) coldLocked() bool {
+	return s.observations == 0 && s.cache.len() == 0 && s.dists == nil
 }
 
 // orderLocked builds the tiered order. pos is sorted by recorded answer
@@ -390,6 +437,15 @@ func (s *Selector) orderLocked(base []int, pos []posEntry, neg []int) []int {
 	// base order: the fattest known answer is the cheapest first probe.
 	cached := byTier[tierCached]
 	sortByRank(cached, inPos)
+	// Zone ordering: within every other tier, nearest zone first (the
+	// cached tier's recorded-answer ranking wins over distance — a known
+	// fat answer beats a near empty one). Stable, so equidistant servers
+	// keep base's relative order.
+	if s.dists != nil {
+		for t := tierHealthy; t <= tierOpen; t++ {
+			sortByDist(byTier[t], s.dists)
+		}
+	}
 
 	out := make([]int, 0, len(base))
 	for _, tier := range byTier {
@@ -503,6 +559,23 @@ func sortPos(pos []posEntry) {
 func sortByRank(servers []int, rank map[int]int) {
 	for i := 1; i < len(servers); i++ {
 		for j := i; j > 0 && rank[servers[j]] < rank[servers[j-1]]; j-- {
+			servers[j], servers[j-1] = servers[j-1], servers[j]
+		}
+	}
+}
+
+// sortByDist stably orders servers by zone distance ascending. Ids
+// beyond the distance cache (a joiner the topology has not covered
+// yet) count as maximally distant.
+func sortByDist(servers []int, dists []int) {
+	d := func(sv int) int {
+		if sv < 0 || sv >= len(dists) {
+			return topo.DistCrossRegion
+		}
+		return dists[sv]
+	}
+	for i := 1; i < len(servers); i++ {
+		for j := i; j > 0 && d(servers[j]) < d(servers[j-1]); j-- {
 			servers[j], servers[j-1] = servers[j-1], servers[j]
 		}
 	}

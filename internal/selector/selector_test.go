@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -54,6 +55,74 @@ func TestOrderPrefersCachedServers(t *testing.T) {
 	// A different key has no cached route and keeps base order.
 	if got := s.Order("other", base(6)); !reflect.DeepEqual(got, base(6)) {
 		t.Fatalf("uncached key order = %v, want identity", got)
+	}
+}
+
+// With a topology attached, healthy servers sort nearest-zone-first,
+// stable within a distance band, and the ordering applies even with no
+// observations (the selector is never cold once zone-aware).
+func TestZoneOrderingPrefersNearServers(t *testing.T) {
+	tp, err := topo.Parse("2x2x2", 8) // 2 regions, 2 DCs each, 2 racks each
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(8, Options{})
+	s.SetTopology(tp, tp.ZoneOf(0)) // client co-located with server 0's rack
+	got := s.Order("k", base(8))
+	// Round-robin rack assignment: server 0 shares rack with nobody at
+	// n=8 over 8 racks... each server has its own rack. Distances from
+	// rack of server 0: same-rack {0}, same-DC {rack sibling}, same
+	// region, cross region. Verify monotone non-decreasing distance.
+	last := -1
+	for _, sv := range got {
+		d := tp.DistZone(tp.ZoneOf(0), sv)
+		if d < last {
+			t.Fatalf("order %v not sorted by zone distance (server %d dist %d after dist %d)", got, sv, d, last)
+		}
+		last = d
+	}
+	if got[0] != 0 {
+		t.Fatalf("order %v: co-located server 0 must lead", got)
+	}
+	// Stability: equidistant servers keep base relative order.
+	seen := map[int][]int{}
+	for _, sv := range got {
+		d := tp.DistZone(tp.ZoneOf(0), sv)
+		seen[d] = append(seen[d], sv)
+	}
+	for d, svs := range seen {
+		for i := 1; i < len(svs); i++ {
+			if svs[i] < svs[i-1] {
+				t.Fatalf("distance band %d order %v not stable wrt base", d, svs)
+			}
+		}
+	}
+}
+
+// Zone ordering ranks below health signal: an open-circuit same-rack
+// server sorts behind healthy far servers, and a cached fat answer
+// beats proximity.
+func TestZoneOrderingYieldsToHealthAndCache(t *testing.T) {
+	tp, err := topo.Parse("2x1x2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(4, Options{})
+	s.SetTopology(tp, tp.ZoneOf(0))
+	for i := 0; i < 10; i++ {
+		s.RecordFailure(0) // same-zone server goes open
+	}
+	got := s.Order("k", base(4))
+	if got[len(got)-1] != 0 {
+		t.Fatalf("order %v: open same-zone server 0 must sort last", got)
+	}
+	// A cached answer on the farthest server leads everything.
+	s2 := New(4, Options{})
+	s2.SetTopology(tp, tp.ZoneOf(0))
+	far := 3
+	s2.RecordAnswer("k", far, 5)
+	if got := s2.Order("k", base(4)); got[0] != far {
+		t.Fatalf("order %v: cached server %d must lead despite distance", got, far)
 	}
 }
 

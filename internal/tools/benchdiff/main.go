@@ -13,8 +13,10 @@
 // BENCH_wal.json (volatile plus per-fsync-policy acked-mutation
 // ops_per_sec), BENCH_core.json (full-stack lookup ops_per_sec per
 // swept GOMAXPROCS, plus the mux-transport and epoch-store toggle
-// arms), and BENCH_proxy.json (direct and proxy-arm saturation rates
-// from the open-loop sweep) are understood. Only throughput metrics are gated — latency
+// arms), BENCH_proxy.json (direct and proxy-arm saturation rates
+// from the open-loop sweep), and BENCH_zone.json (zone-spread on/off
+// availability and partition-survival fractions) are understood. Only
+// bigger-is-better metrics are gated — latency
 // percentiles and allocation counts in the reports are informational
 // here (allocations have their own hard gates in internal/wire's
 // tests). Refresh a baseline by regenerating the report on a quiet
@@ -87,6 +89,19 @@ type proxyReport struct {
 	} `json:"proxy"`
 }
 
+// zoneReport mirrors the gated subset of BENCH_zone.json. Availability
+// and satisfied fractions are "throughput-shaped" for the gate's
+// purposes: bigger is better and a drop past the threshold is a
+// regression (the spread arm's 1.0 additionally hard-fails inside the
+// bench itself).
+type zoneReport struct {
+	Arms []struct {
+		Spread                 bool    `json:"spread"`
+		Availability           float64 `json:"availability"`
+		PartitionSatisfiedFrac float64 `json:"partition_satisfied_frac"`
+	} `json:"zone_arms"`
+}
+
 // extract sniffs the report kind from its top-level fields and returns
 // its throughput metrics. Unknown shapes are an error, not a silent
 // pass: a renamed field must not disarm the gate.
@@ -137,6 +152,23 @@ func extract(path string) ([]metric, error) {
 			ms = append(ms, metric{"proxy.top_rate_achieved_per_sec", r.Proxy[n-1].AchievedPerSec})
 		}
 		return ms, nil
+	case probe["zone_arms"] != nil:
+		var r zoneReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		var ms []metric
+		for _, a := range r.Arms {
+			name := "nospread"
+			if a.Spread {
+				name = "spread"
+			}
+			ms = append(ms,
+				metric{"zone." + name + ".availability", a.Availability},
+				metric{"zone." + name + ".partition_satisfied_frac", a.PartitionSatisfiedFrac},
+			)
+		}
+		return ms, nil
 	case probe["volatile"] != nil:
 		var r walReport
 		if err := json.Unmarshal(data, &r); err != nil {
@@ -148,7 +180,7 @@ func extract(path string) ([]metric, error) {
 		}
 		return ms, nil
 	}
-	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json, BENCH_wal.json, BENCH_core.json, or BENCH_proxy.json fields)", path)
+	return nil, fmt.Errorf("%s: unrecognized report shape (want BENCH_node.json, BENCH_wal.json, BENCH_core.json, BENCH_proxy.json, or BENCH_zone.json fields)", path)
 }
 
 // diff compares current against baseline metrics by name and returns

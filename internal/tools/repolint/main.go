@@ -5,7 +5,11 @@
 //   - every Go package (including main packages) carries a package doc
 //     comment, so `go doc` is never empty and godoc renders usefully;
 //   - every relative link in the repo's Markdown files resolves to a
-//     file that exists, so docs don't rot as files move.
+//     file that exists, so docs don't rot as files move;
+//   - every link anchor — in-page (#section) or cross-file
+//     (FILE.md#section) — matches a heading in the target file, using
+//     GitHub's heading-to-anchor slug rules, so section links don't rot
+//     as headings are reworded.
 //
 // Usage: go run ./internal/tools/repolint [root]
 //
@@ -22,6 +26,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 func main() {
@@ -118,10 +123,11 @@ func checkMarkdownLinks(root string) []string {
 		if rerr != nil {
 			return nil
 		}
+		slugs := newSlugCache()
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
 				target := m[1]
-				if bad, reason := badLink(filepath.Dir(path), target); bad {
+				if bad, reason := badLink(path, target, slugs); bad {
 					problems = append(problems, fmt.Sprintf("%s:%d: link %q: %s", path, i+1, target, reason))
 				}
 			}
@@ -131,27 +137,123 @@ func checkMarkdownLinks(root string) []string {
 	return problems
 }
 
-// badLink resolves one link target relative to the Markdown file's
-// directory. External and in-page links are trusted (this runner is
-// offline); everything else must exist on disk.
-func badLink(fromDir, target string) (bool, string) {
+// badLink resolves one link target relative to the Markdown file it
+// appears in. External links are trusted (this runner is offline);
+// file targets must exist on disk, and anchors — in-page or on a
+// Markdown target — must match a heading in the addressed file.
+func badLink(fromFile, target string, slugs *slugCache) (bool, string) {
 	switch {
 	case strings.HasPrefix(target, "http://"),
 		strings.HasPrefix(target, "https://"),
 		strings.HasPrefix(target, "mailto:"):
 		return false, ""
-	case strings.HasPrefix(target, "#"):
-		return false, "" // in-page anchor
 	}
-	// Strip any anchor or query suffix from a file target.
+	anchor := ""
 	if i := strings.IndexAny(target, "#?"); i >= 0 {
+		if target[i] == '#' {
+			anchor = target[i+1:]
+		}
 		target = target[:i]
 	}
-	if target == "" {
+	resolved := fromFile // in-page anchor
+	if target != "" {
+		resolved = filepath.Join(filepath.Dir(fromFile), target)
+		if _, err := os.Stat(resolved); err != nil {
+			return true, "target does not exist"
+		}
+	}
+	if anchor == "" {
 		return false, ""
 	}
-	if _, err := os.Stat(filepath.Join(fromDir, target)); err != nil {
-		return true, "target does not exist"
+	if !strings.HasSuffix(strings.ToLower(resolved), ".md") {
+		return false, "" // anchors into non-Markdown targets are not modeled
+	}
+	if !slugs.has(resolved, anchor) {
+		return true, fmt.Sprintf("no heading in %s slugs to #%s", resolved, anchor)
 	}
 	return false, ""
+}
+
+// slugCache memoizes each Markdown file's heading anchors.
+type slugCache struct{ byFile map[string]map[string]bool }
+
+func newSlugCache() *slugCache {
+	return &slugCache{byFile: make(map[string]map[string]bool)}
+}
+
+func (c *slugCache) has(path, anchor string) bool {
+	set, ok := c.byFile[path]
+	if !ok {
+		set = headingSlugs(path)
+		c.byFile[path] = set
+	}
+	return set[strings.ToLower(anchor)]
+}
+
+// headingSlugs extracts every ATX heading outside fenced code blocks
+// and slugs it the way GitHub does: strip inline markup, lowercase,
+// drop punctuation, spaces to hyphens, and suffix repeats with -1, -2,
+// ... so duplicate headings stay addressable.
+func headingSlugs(path string) map[string]bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return map[string]bool{}
+	}
+	out := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		level := 0
+		for level < len(trimmed) && trimmed[level] == '#' {
+			level++
+		}
+		if level == 0 || level > 6 || level == len(trimmed) || trimmed[level] != ' ' {
+			continue
+		}
+		slug := slugify(trimmed[level+1:])
+		if n := counts[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out
+}
+
+// headingLink unwraps [text](url) inside a heading; GitHub slugs the
+// visible text only.
+var headingLink = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
+// slugify converts one heading's text to its GitHub anchor: markup
+// characters vanish, letters and digits survive lowercased, spaces and
+// hyphens become/remain hyphens, everything else is dropped.
+func slugify(text string) string {
+	text = headingLink.ReplaceAllString(text, "$1")
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(text)) {
+		switch {
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		case r == '_' || ('a' <= r && r <= 'z') || ('0' <= r && r <= '9'):
+			b.WriteRune(r)
+		case r > 127 && !isPunctRune(r):
+			b.WriteRune(r) // non-ASCII letters survive (é, ü, ...)
+		}
+	}
+	return b.String()
+}
+
+// isPunctRune reports non-ASCII punctuation/symbol runes GitHub strips
+// from anchors (§, †, arrows, ...) as opposed to letters it keeps.
+func isPunctRune(r rune) bool {
+	return !unicode.IsLetter(r) && !unicode.IsDigit(r)
 }

@@ -3,7 +3,8 @@
 // and the real transport, so the same fault scenarios run unchanged
 // over the in-process simulator and the TCP client: per-server latency
 // distributions, probabilistic call drops, slow-start penalties after a
-// restart, and pairwise network partitions.
+// restart, pairwise network partitions, and — when a topo.Topology is
+// attached — zone-correlated latency and whole-zone partitions.
 //
 // All randomness comes from one seeded stats.RNG, so a fault schedule
 // is fully reproducible: two Chaos instances with equal seeds over
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -73,6 +75,17 @@ type Chaos struct {
 	slowLeft  []int           // remaining slow-start calls per server
 	slowExtra []time.Duration // slow-start latency penalty per server
 	cut       map[[2]int]bool // severed origin/target pairs, normalized
+
+	// Zone state. With tp nil all of it is inert: no extra locking of
+	// note, no RNG draws, no counters — topology-free runs stay
+	// byte-identical. With tp set but a zero latency profile, calls are
+	// counted per distance tier (the zone-bench hop gauges) and zone
+	// partitions apply, but no delay is injected and no randomness is
+	// consumed.
+	tp         *topo.Topology
+	clientZone string          // zone path of ClientOrigin traffic; "" = off-net
+	zoneCut    map[string]bool // partitioned zone paths
+	zoneCalls  [topo.NumDistances]uint64
 }
 
 var _ Caller = (*Chaos)(nil)
@@ -94,6 +107,7 @@ func NewChaos(inner Caller, rng *stats.RNG) *Chaos {
 		slowLeft:  make([]int, inner.NumServers()),
 		slowExtra: make([]time.Duration, inner.NumServers()),
 		cut:       make(map[[2]int]bool),
+		zoneCut:   make(map[string]bool),
 	}
 }
 
@@ -232,6 +246,114 @@ func (c *Chaos) Compact(server int) {
 	c.cut = cut
 }
 
+// SetTopology attaches a zone topology: calls then pay the per-tier
+// link latency from the topology's profile (on top of any per-server
+// Faults) and are counted per distance tier. The topology must be the
+// same instance the cluster's nodes share, so zone partitions and
+// placement agree on who lives where. Pass nil to detach.
+func (c *Chaos) SetTopology(tp *topo.Topology) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tp = tp
+}
+
+// Topology returns the attached topology, or nil.
+func (c *Chaos) Topology() *topo.Topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tp
+}
+
+// SetClientZone places ClientOrigin traffic inside a zone (a region,
+// DC, or rack path), so client calls pay the right link tier and are
+// severed by partitions of that zone. An empty path (the default)
+// models an off-net client: maximally distant from every server and
+// outside every zone, so whole-zone partitions never cut it off.
+func (c *Chaos) SetClientZone(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientZone = path
+}
+
+// PartitionZone severs a whole zone (a rack path or any prefix of
+// one) from the rest of the network: calls crossing the zone boundary
+// in either direction fail with an error matching ErrInjected and
+// ErrServerDown, while traffic wholly inside or wholly outside the
+// zone still flows. Requires an attached topology to have any effect.
+func (c *Chaos) PartitionZone(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zoneCut[path] = true
+}
+
+// HealZone removes a whole-zone partition.
+func (c *Chaos) HealZone(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.zoneCut, path)
+}
+
+// ZonePartitioned reports whether a zone is currently severed.
+func (c *Chaos) ZonePartitioned(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zoneCut[path]
+}
+
+// ZoneCalls returns a snapshot of delivered-call-attempt counts per
+// distance tier (indexed by topo.DistSameRack..DistCrossRegion).
+// Counting happens only while a topology is attached; partitioned
+// calls are not counted (they never traverse a link).
+func (c *Chaos) ZoneCalls() [topo.NumDistances]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zoneCalls
+}
+
+// ResetZoneCalls zeroes the per-tier call counters.
+func (c *Chaos) ResetZoneCalls() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zoneCalls = [topo.NumDistances]uint64{}
+}
+
+// originInZone reports whether an origin lies inside a zone: servers
+// by topology assignment, ClientOrigin by the configured client zone
+// path. Caller holds c.mu.
+func (c *Chaos) originInZone(origin int, z string) bool {
+	if origin == ClientOrigin {
+		return c.clientZone != "" && topo.Within(c.clientZone, z)
+	}
+	return c.tp.InZone(origin, z)
+}
+
+// zoneSevered returns the (lexically smallest, for deterministic
+// error text) partitioned zone whose boundary the call crosses, or
+// "". Caller holds c.mu and has checked c.tp != nil.
+func (c *Chaos) zoneSevered(origin, server int) string {
+	hit := ""
+	for z := range c.zoneCut {
+		if c.originInZone(origin, z) != c.tp.InZone(server, z) {
+			if hit == "" || z < hit {
+				hit = z
+			}
+		}
+	}
+	return hit
+}
+
+// zoneDist returns the distance tier the call traverses. Caller holds
+// c.mu and has checked c.tp != nil.
+func (c *Chaos) zoneDist(origin, server int) int {
+	if origin == ClientOrigin {
+		if c.clientZone == "" {
+			return topo.DistCrossRegion
+		}
+		return c.tp.DistZone(c.clientZone, server)
+	}
+	return c.tp.Dist(origin, server)
+}
+
 func pairKey(a, b int) [2]int {
 	if a > b {
 		a, b = b, a
@@ -255,8 +377,23 @@ func (c *Chaos) call(ctx context.Context, origin, server int, msg wire.Message) 
 		c.mu.Unlock()
 		return nil, &injectedError{server: server, reason: "partition"}
 	}
+	if c.tp != nil {
+		if z := c.zoneSevered(origin, server); z != "" {
+			c.mu.Unlock()
+			return nil, &injectedError{server: server, reason: "zone partition " + z}
+		}
+	}
 	f := c.faults[server]
 	delay := f.Latency
+	if c.tp != nil {
+		dist := c.zoneDist(origin, server)
+		c.zoneCalls[dist]++
+		lp := c.tp.Link(dist)
+		delay += lp.Base
+		if lp.Jitter > 0 {
+			delay += time.Duration(c.rng.Uint64N(uint64(lp.Jitter)))
+		}
+	}
 	if f.Jitter > 0 {
 		delay += time.Duration(c.rng.Uint64N(uint64(f.Jitter)))
 	}

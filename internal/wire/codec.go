@@ -751,6 +751,7 @@ func (e *encoder) config(c Config) {
 	e.uvarint(c.Seed)
 	e.bool(c.RSReplace)
 	e.uvarint(uint64(c.Coordinators))
+	e.bool(c.ZoneSpread)
 }
 
 type decoder struct {
@@ -949,6 +950,9 @@ func (d *decoder) config() (Config, error) {
 		return c, err
 	}
 	if c.Coordinators, err = d.intval(); err != nil {
+		return c, err
+	}
+	if c.ZoneSpread, err = d.boolval(); err != nil {
 		return c, err
 	}
 	return c, nil

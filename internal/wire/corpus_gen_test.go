@@ -58,6 +58,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		{Scheme: RoundRobin, Y: 3, Coordinators: 2},
 		{Scheme: Hash, Y: 2, Seed: 1 << 60},
 		{Scheme: MultiProbe, Y: 3, Seed: 0xfeed},
+		{Scheme: Hash, Y: 3, Seed: 7, ZoneSpread: true},
 	} {
 		writeSeed(configDir, fmt.Sprintf("seed-%02d-%s", i, cfg.Scheme),
 			fmt.Sprintf("byte(%s)", strconv.QuoteRune(rune(cfg.Scheme))),
@@ -65,6 +66,7 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 			fmt.Sprintf("int(%d)", cfg.Y),
 			fmt.Sprintf("uint64(%d)", cfg.Seed),
 			fmt.Sprintf("bool(%v)", cfg.RSReplace),
-			fmt.Sprintf("int(%d)", cfg.Coordinators))
+			fmt.Sprintf("int(%d)", cfg.Coordinators),
+			fmt.Sprintf("bool(%v)", cfg.ZoneSpread))
 	}
 }

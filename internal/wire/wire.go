@@ -97,6 +97,14 @@ type Config struct {
 	// entry. The paper argues this costs more and is no fairer; the
 	// ext-rsreplace experiment measures that claim.
 	RSReplace bool
+	// ZoneSpread selects topology-aware placement: each key's entries
+	// are spread across failure domains (racks, DCs, regions) using
+	// the cluster's shared topo.Topology instead of the scheme's base
+	// assignment, so no single zone holds every copy of an entry.
+	// Servers without an attached topology ignore the flag and fall
+	// back to base placement; see DESIGN.md §14 for the consistency
+	// contract.
+	ZoneSpread bool
 }
 
 // Validate checks that the config is internally consistent for a cluster
